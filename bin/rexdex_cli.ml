@@ -1,0 +1,329 @@
+(* rexdex — resilient data extraction from semistructured sources.
+
+   Subcommands:
+     check      decide ambiguity and maximality of an extraction expression
+     maximize   synthesize a maximal unambiguous generalization (§6)
+     extract    run an extraction expression over a token string
+     tokens     print the tag-sequence abstraction of an HTML file
+     learn      induce a wrapper from sample HTML pages (data-target marks)
+     perturb    apply random §3-taxonomy edits to an HTML page *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- common arguments --- *)
+
+let alphabet_arg =
+  let doc = "Alphabet symbols, comma-separated (e.g. p,q or FORM,/FORM,INPUT)." in
+  Arg.(
+    required
+    & opt (some (list ~sep:',' string)) None
+    & info [ "a"; "alphabet" ] ~docv:"SYMS" ~doc)
+
+let expr_arg =
+  let doc = "Extraction expression, e.g. '([^p])* <p> .*'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+
+let parse_env syms expr_str =
+  let alpha = Alphabet.make syms in
+  (alpha, Extraction.parse alpha expr_str)
+
+let handle_errors f =
+  try f () with
+  | Regex_parse.Parse_error (msg, pos) ->
+      Format.eprintf "parse error at offset %d: %s@." pos msg;
+      exit 2
+  | Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 2
+
+(* --- check --- *)
+
+let check_cmd =
+  let run syms expr_str =
+    handle_errors @@ fun () ->
+    let alpha, e = parse_env syms expr_str in
+    Format.printf "expression : %a@." Extraction.pp e;
+    if Ambiguity.is_ambiguous e then begin
+      (match Ambiguity.witness e with
+      | Some w ->
+          Format.printf "ambiguous  : yes — e.g. %a has multiple splits@."
+            (Word.pp alpha) w
+      | None -> Format.printf "ambiguous  : yes@.");
+      exit 1
+    end
+    else begin
+      Format.printf "ambiguous  : no@.";
+      match Maximality.check e with
+      | Maximality.Maximal -> Format.printf "maximal    : yes@."
+      | Maximality.Not_maximal_left w ->
+          Format.printf "maximal    : no — left side extensible by %a@."
+            (Word.pp alpha) w
+      | Maximality.Not_maximal_right w ->
+          Format.printf "maximal    : no — right side extensible by %a@."
+            (Word.pp alpha) w
+      | Maximality.Ambiguous_input _ -> assert false
+    end
+  in
+  let doc = "decide ambiguity (Prop 5.4) and maximality (Cor 5.8)" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ alphabet_arg $ expr_arg)
+
+(* --- maximize --- *)
+
+let maximize_cmd =
+  let run syms expr_str =
+    handle_errors @@ fun () ->
+    let alpha, e = parse_env syms expr_str in
+    match Synthesis.maximize e with
+    | Ok (e', strategy) ->
+        Format.printf "strategy : %a@." (Synthesis.pp_strategy alpha) strategy;
+        Format.printf "result   : %a@." Extraction.pp e'
+    | Error f ->
+        Format.eprintf "failed   : %a@." (Synthesis.pp_failure alpha) f;
+        exit 1
+  in
+  let doc = "synthesize a maximal unambiguous generalization (§6)" in
+  Cmd.v (Cmd.info "maximize" ~doc) Term.(const run $ alphabet_arg $ expr_arg)
+
+(* --- extract --- *)
+
+let extract_cmd =
+  let word_arg =
+    let doc = "Token string to extract from (whitespace-separated symbols)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"WORD" ~doc)
+  in
+  let run syms expr_str word_str =
+    handle_errors @@ fun () ->
+    let alpha, e = parse_env syms expr_str in
+    let word = Word.of_string alpha word_str in
+    match Extraction.extract e word with
+    | `Unique i -> Format.printf "position %d@." i
+    | `Ambiguous l ->
+        Format.printf "ambiguous: positions %s@."
+          (String.concat ", " (List.map string_of_int l));
+        exit 1
+    | `No_match ->
+        Format.printf "no match@.";
+        exit 1
+  in
+  let doc = "apply an extraction expression to a token string" in
+  Cmd.v (Cmd.info "extract" ~doc)
+    Term.(const run $ alphabet_arg $ expr_arg $ word_arg)
+
+(* --- tokens --- *)
+
+let html_file_arg pos_ =
+  let doc = "HTML file." in
+  Arg.(required & pos pos_ (some file) None & info [] ~docv:"FILE" ~doc)
+
+let tokens_cmd =
+  let run file =
+    handle_errors @@ fun () ->
+    let doc = Html_tree.parse (read_file file) in
+    let alpha = Wrapper.alphabet_for [ doc ] in
+    Format.printf "%s@." (Word.to_string alpha (Tag_seq.of_doc alpha doc))
+  in
+  let doc = "print the tag-sequence abstraction (§3) of an HTML file" in
+  Cmd.v (Cmd.info "tokens" ~doc) Term.(const run $ html_file_arg 0)
+
+(* --- learn --- *)
+
+let learn_cmd =
+  let samples_arg =
+    let doc =
+      "Sample HTML files; each must mark its target element with a \
+       data-target attribute."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SAMPLES" ~doc)
+  in
+  let test_arg =
+    let doc = "Extra HTML file to extract from with the learned wrapper." in
+    Arg.(value & opt_all file [] & info [ "t"; "test" ] ~docv:"FILE" ~doc)
+  in
+  let no_max_arg =
+    let doc = "Skip maximization (emit the raw merged expression)." in
+    Arg.(value & flag & info [ "no-maximize" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Save the learned wrapper to this file." in
+    Arg.(value & opt (some string) None & info [ "s"; "save" ] ~docv:"FILE" ~doc)
+  in
+  let refine_arg =
+    let doc =
+      "Refine an element by an attribute value in the token abstraction, \
+       e.g. INPUT.type (repeatable)."
+    in
+    Arg.(value & opt_all string [] & info [ "refine" ] ~docv:"EL.ATTR" ~doc)
+  in
+  let run sample_files test_files no_max save refine =
+    handle_errors @@ fun () ->
+    let abs =
+      match refine with
+      | [] -> Abstraction.Tags
+      | specs ->
+          Abstraction.Tags_with_attrs
+            (List.map
+               (fun s ->
+                 match String.index_opt s '.' with
+                 | Some i ->
+                     ( String.sub s 0 i,
+                       String.sub s (i + 1) (String.length s - i - 1) )
+                 | None ->
+                     Format.eprintf "bad --refine spec %S (want EL.ATTR)@." s;
+                     exit 2)
+               specs)
+    in
+    let load f =
+      let doc = Html_tree.parse (read_file f) in
+      match Pagegen.target_path doc with
+      | Some path -> (doc, path)
+      | None ->
+          Format.eprintf "%s: no data-target element@." f;
+          exit 2
+    in
+    let samples = List.map load sample_files in
+    let alpha = Wrapper.alphabet_for ~abs (List.map fst samples) in
+    match Wrapper.learn ~maximize:(not no_max) ~abs ~alpha samples with
+    | Error e ->
+        Format.eprintf "learning failed: %a@." Wrapper.pp_learn_error e;
+        exit 1
+    | Ok w ->
+        (match w.Wrapper.strategy with
+        | Some s ->
+            Format.printf "strategy  : %a@." (Synthesis.pp_strategy alpha) s
+        | None -> Format.printf "strategy  : none (raw merge)@.");
+        Format.printf "expression: %a@." Extraction.pp w.Wrapper.expr;
+        (match save with
+        | Some path ->
+            Wrapper_io.save w path;
+            Format.printf "saved     : %s@." path
+        | None -> ());
+        List.iter
+          (fun f ->
+            let doc = Html_tree.parse (read_file f) in
+            match Wrapper.extract w doc with
+            | Ok path ->
+                Format.printf "%s: target at %s@." f
+                  (String.concat "." (List.map string_of_int path))
+            | Error e ->
+                Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
+          test_files
+  in
+  let doc = "induce a resilient wrapper from marked sample pages (§7)" in
+  Cmd.v (Cmd.info "learn" ~doc)
+    Term.(const run $ samples_arg $ test_arg $ no_max_arg $ save_arg $ refine_arg)
+
+(* --- apply --- *)
+
+let apply_cmd =
+  let wrapper_arg =
+    let doc = "Wrapper file produced by 'learn --save'." in
+    Arg.(required & opt (some file) None & info [ "w"; "wrapper" ] ~docv:"FILE" ~doc)
+  in
+  let pages_arg =
+    let doc = "HTML pages to extract from." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PAGES" ~doc)
+  in
+  let run wrapper_file pages =
+    handle_errors @@ fun () ->
+    match Wrapper_io.load wrapper_file with
+    | Error e ->
+        Format.eprintf "%s: %s@." wrapper_file e;
+        exit 2
+    | Ok w ->
+        let failures = ref 0 in
+        List.iter
+          (fun f ->
+            let doc = Html_tree.parse (read_file f) in
+            match Wrapper.extract w doc with
+            | Ok path ->
+                Format.printf "%s: target at %s@." f
+                  (String.concat "." (List.map string_of_int path))
+            | Error e ->
+                incr failures;
+                Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
+          pages;
+        if !failures > 0 then exit 1
+  in
+  let doc = "apply a saved wrapper to HTML pages" in
+  Cmd.v (Cmd.info "apply" ~doc) Term.(const run $ wrapper_arg $ pages_arg)
+
+(* --- validate (DTD) --- *)
+
+let validate_cmd =
+  let dtd_arg =
+    let doc = "DTD file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DTD" ~doc)
+  in
+  let xml_arg =
+    let doc = "XML/HTML document to validate." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc)
+  in
+  let run dtd_file doc_file =
+    handle_errors @@ fun () ->
+    match Dtd_parse.parse_result (read_file dtd_file) with
+    | Error e ->
+        Format.eprintf "%s: %s@." dtd_file e;
+        exit 2
+    | Ok dtd -> (
+        let doc = Html_tree.parse (read_file doc_file) in
+        match Dtd.validate dtd doc with
+        | [] -> Format.printf "%s: valid@." doc_file
+        | violations ->
+            List.iter
+              (fun v -> Format.printf "%s: %a@." doc_file Dtd.pp_violation v)
+              violations;
+            exit 1)
+  in
+  let doc = "validate a document against a DTD (content models = regexes)" in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ dtd_arg $ xml_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let regex_arg =
+    let doc = "Regular expression to render (minimal DFA)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc)
+  in
+  let run syms regex_str =
+    handle_errors @@ fun () ->
+    let alpha = Alphabet.make syms in
+    let l = Lang.parse alpha regex_str in
+    print_string (Fa_dot.dfa alpha (Lang.dfa l))
+  in
+  let doc = "render a regular expression's minimal DFA as Graphviz DOT" in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ alphabet_arg $ regex_arg)
+
+(* --- perturb --- *)
+
+let perturb_cmd =
+  let intensity_arg =
+    let doc = "Number of random edits to apply." in
+    Arg.(value & opt int 3 & info [ "n"; "intensity" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run file intensity seed =
+    handle_errors @@ fun () ->
+    let doc = Html_tree.parse (read_file file) in
+    let rng = Random.State.make [| seed |] in
+    let doc' = Perturb.perturb rng ~intensity doc in
+    print_string (Html_tree.to_string ~indent:true doc')
+  in
+  let doc = "apply random §3-taxonomy edits to an HTML page" in
+  Cmd.v (Cmd.info "perturb" ~doc)
+    Term.(const run $ html_file_arg 0 $ intensity_arg $ seed_arg)
+
+let () =
+  let doc = "resilient data extraction from semistructured sources" in
+  let info = Cmd.info "rexdex" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; perturb_cmd; validate_cmd; dot_cmd ]))

@@ -1,0 +1,99 @@
+(* DTD-guided extraction (§8's "using DTDs to guide the learning
+   algorithms", instantiated).
+
+   When the source is XML with a DTD, no sample pages are needed at all:
+   the parent's content model — itself a regular expression — directly
+   yields an unambiguous extraction expression for "the n-th TARGET child
+   of PARENT", which the §6 machinery then maximizes.
+
+   Run with:  dune exec examples/dtd_catalog.exe *)
+
+let dtd_src =
+  {|<!ELEMENT CATALOG (BANNER?, PRODUCT+, FOOTER?)>
+<!ELEMENT BANNER EMPTY>
+<!ELEMENT PRODUCT (NAME, PRICE, NOTE*)>
+<!ELEMENT NAME (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT NOTE (#PCDATA)>
+<!ELEMENT FOOTER EMPTY>
+<!ATTLIST PRODUCT id CDATA #REQUIRED>|}
+
+let doc_src =
+  {|<catalog>
+  <banner/>
+  <product id="p1"><name>Widget</name><price>19.99</price></product>
+  <product id="p2"><name>Gadget</name><price>7.50</price><note>sale</note></product>
+  <footer/>
+</catalog>|}
+
+let rule () = print_endline (String.make 72 '-')
+
+let () =
+  let dtd = Dtd_parse.parse dtd_src in
+  let doc = Html_tree.parse doc_src in
+
+  rule ();
+  print_endline "The DTD:";
+  print_endline dtd_src;
+
+  rule ();
+  (match Dtd.validate dtd doc with
+  | [] -> print_endline "document validates against the DTD"
+  | vs ->
+      List.iter (fun v -> Format.printf "violation: %a@." Dtd.pp_violation v) vs);
+
+  (* Content models are regular languages over the child alphabet. *)
+  rule ();
+  (match Dtd.content_lang dtd "CATALOG" with
+  | Some l -> Format.printf "CATALOG content model as a language: %s@." (Lang.to_string l)
+  | None -> ());
+
+  (* Derive an extraction expression for "the PRICE of a PRODUCT" with no
+     training pages — the content model is the teacher. *)
+  rule ();
+  (match Dtd_guide.child_expression dtd ~parent:"PRODUCT" ~target:"PRICE" ~nth:0 with
+  | Error e -> Format.printf "error: %a@." Dtd_guide.pp_error e
+  | Ok e ->
+      Format.printf "DTD-derived expression : %a@." Extraction.pp e;
+      Format.printf "unambiguous            : %b@." (Ambiguity.is_unambiguous e);
+      (* maximize for resilience beyond what the DTD allows *)
+      (match Dtd_guide.resilient_child_expression dtd ~parent:"PRODUCT" ~target:"PRICE" ~nth:0 with
+      | Ok e' ->
+          Format.printf "maximized              : %a@." Extraction.pp e';
+          Format.printf "maximal                : %b@." (Maximality.is_maximal e')
+      | Error _ -> ());
+      (* extract from the real document tree *)
+      List.iteri
+        (fun i (path, _) ->
+          match Dtd_guide.extract_child dtd e doc ~parent_path:path with
+          | Ok idx -> (
+              match Html_tree.node_at doc (path @ [ idx ]) with
+              | Some (Html_tree.Element { children = [ Html_tree.Text price ]; _ })
+                ->
+                  Format.printf "product %d price       : %s@." (i + 1) price
+              | _ -> Format.printf "product %d: unexpected node@." (i + 1))
+          | Error msg -> Format.printf "product %d: %s@." (i + 1) msg)
+        (Html_tree.find_elements "PRODUCT" doc));
+
+  (* The "second PRODUCT" concept survives the optional BANNER vanishing. *)
+  rule ();
+  match Dtd_guide.child_expression dtd ~parent:"CATALOG" ~target:"PRODUCT" ~nth:1 with
+  | Error e -> Format.printf "error: %a@." Dtd_guide.pp_error e
+  | Ok e ->
+      let alpha = Dtd.alphabet dtd in
+      List.iter
+        (fun names ->
+          let word = Word.of_names alpha names in
+          match Extraction.extract e word with
+          | `Unique i ->
+              Format.printf "%-45s -> position %d@."
+                (String.concat " " names) i
+          | `Ambiguous _ | `No_match ->
+              Format.printf "%-45s -> no unique match@."
+                (String.concat " " names))
+        [
+          [ "BANNER"; "PRODUCT"; "PRODUCT"; "FOOTER" ];
+          [ "PRODUCT"; "PRODUCT"; "PRODUCT" ];
+          [ "PRODUCT"; "PRODUCT" ];
+        ];
+      rule ()

@@ -1,0 +1,83 @@
+(* Tuple wrappers over HTML tables.
+
+   The wrapper-induction systems the paper cites ([18, 21]) extract
+   TUPLES (name, price, …) from result rows.  Multi_extraction carries
+   the paper's formalism to that setting: a k-mark expression
+   E0 ⟨p1⟩ E1 ⟨p2⟩ E2 …, unambiguous iff each coordinate expression is
+   (the coordinate-wise reduction to Prop 5.4).
+
+   Here: from a product-listing page, extract the (name-cell, price-cell)
+   pair of the first result row, and keep extracting it as rows and
+   decorations are added.
+
+   Run with:  dune exec examples/price_table.exe *)
+
+let page extra_rows decorated =
+  Printf.sprintf
+    {|<h1>Results</h1>%s
+<table>
+<tr><th>Product</th><th>Price</th></tr>
+<tr><td><a href="p1.html">Widget</a></td><td><b>$19.99</b></td></tr>
+%s
+</table>|}
+    (if decorated then "<p><img src=\"banner.gif\"><hr>" else "")
+    (String.concat "\n"
+       (List.init extra_rows (fun i ->
+            Printf.sprintf
+              "<tr><td><a href=\"p%d.html\">Item %d</a></td><td>$%d.00</td></tr>"
+              (i + 2) (i + 2) (i + 2))))
+
+let () =
+  let doc = Html_tree.parse (page 1 false) in
+  let alpha = Wrapper.alphabet_for [ doc ] in
+
+  (* The tuple concept: inside the first data row (the one after the
+     header), the A anchor holds the name, the B element the price.  As a
+     two-mark expression over the tag sequence: mark the first row's TD
+     that contains A, and the B inside the price TD. *)
+  let me =
+    Multi_extraction.parse alpha
+      "([^TABLE])* TABLE TR TH /TH TH /TH /TR TR TD <A> /A /TD TD <B> /B /TD \
+       /TR .*"
+  in
+  Format.printf "tuple expression : %a@." Multi_extraction.pp me;
+  Format.printf "arity            : %d@." (Multi_extraction.arity me);
+  Format.printf "unambiguous      : %b@." (Multi_extraction.is_unambiguous me);
+
+  (* Generalize each coordinate with the §6 machinery: coordinate
+     expressions are ordinary E1⟨p⟩E2, so Synthesis applies. *)
+  (match Synthesis.maximize (Multi_extraction.coordinate_expression me 0) with
+  | Ok (e, s) ->
+      Format.printf "coordinate 0 max : %a  (via %a)@." Extraction.pp e
+        (Synthesis.pp_strategy alpha) s
+  | Error f ->
+      Format.printf "coordinate 0     : %a@." (Synthesis.pp_failure alpha) f);
+
+  let matcher = Multi_extraction.compile me in
+  let try_page label html =
+    let doc = Html_tree.parse html in
+    let word = Tag_seq.of_doc alpha doc in
+    match Multi_extraction.matcher_extract matcher word with
+    | `Unique positions ->
+        let names =
+          List.map
+            (fun i ->
+              match Tag_seq.path_of_mark alpha doc i with
+              | Some path -> (
+                  match Html_tree.node_at doc path with
+                  | Some (Html_tree.Element { children = [ Html_tree.Text t ]; _ })
+                    ->
+                      t
+                  | _ -> "?")
+              | None -> "?")
+            positions
+        in
+        Format.printf "%-28s -> (%s)@." label (String.concat ", " names)
+    | `Ambiguous _ -> Format.printf "%-28s -> ambiguous@." label
+    | `No_match -> Format.printf "%-28s -> no match@." label
+  in
+  print_newline ();
+  try_page "original page" (page 1 false);
+  try_page "three more rows" (page 4 false);
+  try_page "decorated header" (page 1 true);
+  try_page "decorated + more rows" (page 6 true)

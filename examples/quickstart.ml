@@ -1,0 +1,52 @@
+(* Quickstart: extraction expressions on plain token strings.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. An alphabet and an extraction expression E1⟨p⟩E2 (Defn 4.1). *)
+  let alpha = Alphabet.make [ "p"; "q" ] in
+  let e = Extraction.parse alpha "q p <p> q*" in
+  Format.printf "expression      : %a@." Extraction.pp e;
+
+  (* 2. Extraction: find the marked symbol in a string. *)
+  let word = Word.of_string alpha "qppqq" in
+  (match Extraction.extract e word with
+  | `Unique i -> Format.printf "extracts        : position %d of %s@." i "qppqq"
+  | `Ambiguous l ->
+      Format.printf "ambiguous       : %d candidate positions@." (List.length l)
+  | `No_match -> Format.printf "no match@.");
+
+  (* 3. Unambiguity (Defn 4.2, decided per §5 in polynomial time). *)
+  Format.printf "unambiguous     : %b@." (Ambiguity.is_unambiguous e);
+
+  (* 4. Maximality (Defn 4.5, Cor 5.8): is it as resilient as possible? *)
+  (match Maximality.check e with
+  | Maximality.Maximal -> Format.printf "maximal         : yes@."
+  | Maximality.Not_maximal_left w ->
+      Format.printf "maximal         : no — left side misses e.g. %a@."
+        (Word.pp alpha) w
+  | Maximality.Not_maximal_right w ->
+      Format.printf "maximal         : no — right side misses e.g. %a@."
+        (Word.pp alpha) w
+  | Maximality.Ambiguous_input _ -> Format.printf "ambiguous input@.");
+
+  (* 5. Maximize (§6 algorithms via the synthesis front end). *)
+  match Synthesis.maximize e with
+  | Ok (e', strategy) ->
+      Format.printf "strategy        : %a@." (Synthesis.pp_strategy alpha) strategy;
+      Format.printf "maximized       : %a@." Extraction.pp e';
+      Format.printf "still unambiguous: %b, now maximal: %b@."
+        (Ambiguity.is_unambiguous e')
+        (Maximality.is_maximal e');
+      (* the maximized expression still extracts the same position … *)
+      (match Extraction.extract e' word with
+      | `Unique i -> Format.printf "same extraction : position %d@." i
+      | _ -> assert false);
+      (* … and survives a change the original did not parse at all *)
+      let changed = Word.of_string alpha "qqqppq" in
+      Format.printf "original parses qqqppq: %b@." (Extraction.parses e changed);
+      (match Extraction.extract e' changed with
+      | `Unique i ->
+          Format.printf "maximized parses qqqppq: yes, extracts position %d@." i
+      | _ -> Format.printf "maximized parses qqqppq: no@.")
+  | Error f -> Format.printf "maximization failed: %a@." (Synthesis.pp_failure alpha) f

@@ -1,0 +1,24 @@
+(* Resilience in numbers: the E6 experiment at demo scale.
+
+   Generates random catalog pages, learns four extractors from two
+   samples each (rigid / LR baseline / merged / maximized), perturbs the
+   pages with growing numbers of §3-taxonomy edits, and prints survival
+   rates.
+
+   Run with:  dune exec examples/resilience_demo.exe *)
+
+let () =
+  print_endline "Resilience of learned wrappers vs. number of page edits";
+  print_endline "(20 random pages per intensity, seed 42)";
+  print_newline ();
+  let rows =
+    Resilience.evaluate ~seed:42 ~trials:20 ~intensities:[ 0; 1; 2; 4; 6; 8 ] ()
+  in
+  Format.printf "%a@." Resilience.pp_table rows;
+  print_newline ();
+  print_endline
+    "Reading: 'rigid' is the literal sample sequence; 'LR' the\n\
+     delimiter-window baseline of the wrapper-induction literature;\n\
+     'merged' the §7 heuristic before maximization; 'maximized' the\n\
+     paper's proposal.  The ordering maximized ≥ merged ≥ rigid is the\n\
+     resilience claim, reproduced."

@@ -1,0 +1,38 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let cardinal = S.cardinal
+let elements = S.elements
+let of_list l = List.fold_left (fun s x -> S.add x s) S.empty l
+let iter = S.iter
+let fold = S.fold
+let for_all = S.for_all
+let exists = S.exists
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+let min_elt = S.min_elt
+let choose_opt = S.choose_opt
+
+let full n =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (S.add i acc) in
+  loop (n - 1) S.empty
+
+let complement n s = diff (full n) s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,37 @@
+(** Finite sets of interned symbols (non-negative ints).
+
+    A thin wrapper around [Set.Make (Int)] that additionally exposes a
+    total order usable in larger structural comparisons, plus the few
+    derived operations the regex and automata layers need. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val elements : t -> int list
+val of_list : int list -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min_elt : t -> int
+val choose_opt : t -> int option
+
+val full : int -> t
+(** [full n] is [{0, …, n-1}]. *)
+
+val complement : int -> t -> t
+(** [complement n s] is [full n] minus [s]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+module RMap = Map.Make (struct
+  type t = Regex.t
+
+  let compare = Regex.compare
+end)
+
+let explore alpha re =
+  let k = Alphabet.size alpha in
+  let ids = ref RMap.empty in
+  let states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern e =
+    match RMap.find_opt e !ids with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        ids := RMap.add e id !ids;
+        states := e :: !states;
+        Queue.add (id, e) queue;
+        id
+  in
+  let start = intern re in
+  let rows = ref [] in
+  while not (Queue.is_empty queue) do
+    let _, e = Queue.pop queue in
+    let row = Array.init k (fun a -> intern (Regex.deriv a e)) in
+    rows := row :: !rows
+  done;
+  (start, List.rev !states, List.rev !rows)
+
+let of_regex alpha re =
+  let k = Alphabet.size alpha in
+  let start, states, rows = explore alpha re in
+  let size = List.length states in
+  let delta = Array.make (size * k) 0 in
+  List.iteri
+    (fun q row -> Array.iteri (fun a d -> delta.((q * k) + a) <- d) row)
+    rows;
+  let finals =
+    Array.of_list (List.map Regex.nullable states)
+  in
+  let d = { Dfa.alpha_size = k; size; start; finals; delta } in
+  Dfa.validate d;
+  d
+
+let state_regexes alpha re =
+  let _, states, _ = explore alpha re in
+  states

@@ -1,0 +1,204 @@
+type t = {
+  alpha_size : int;
+  size : int;
+  start : int;
+  finals : bool array;
+  delta : int array;
+}
+
+let validate t =
+  let bad msg = invalid_arg ("Dfa.validate: " ^ msg) in
+  if t.size <= 0 then bad "size must be positive (complete DFA)";
+  if t.start < 0 || t.start >= t.size then bad "start out of range";
+  if Array.length t.finals <> t.size then bad "finals length";
+  if Array.length t.delta <> t.size * t.alpha_size then bad "delta length";
+  Array.iter (fun q -> if q < 0 || q >= t.size then bad "target out of range") t.delta
+
+let step t q a = t.delta.((q * t.alpha_size) + a)
+
+let run_from t q w =
+  let q = ref q in
+  Array.iter (fun a -> q := step t !q a) w;
+  !q
+
+let run t w = run_from t t.start w
+let accepts t w = t.finals.(run t w)
+
+let trivial ~alpha_size accept =
+  {
+    alpha_size;
+    size = 1;
+    start = 0;
+    finals = [| accept |];
+    delta = Array.make alpha_size 0;
+  }
+
+let reachable t =
+  let seen = Bitvec.create t.size in
+  Bitvec.set seen t.start;
+  let stack = ref [ t.start ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        for a = 0 to t.alpha_size - 1 do
+          let d = step t q a in
+          if not (Bitvec.mem seen d) then begin
+            Bitvec.set seen d;
+            stack := d :: !stack
+          end
+        done;
+        loop ()
+  in
+  loop ();
+  seen
+
+let coreachable t =
+  (* Reverse adjacency, then BFS from final states. *)
+  let preds = Array.make t.size [] in
+  for q = 0 to t.size - 1 do
+    for a = 0 to t.alpha_size - 1 do
+      let d = step t q a in
+      preds.(d) <- q :: preds.(d)
+    done
+  done;
+  let seen = Bitvec.create t.size in
+  let stack = ref [] in
+  Array.iteri
+    (fun q f ->
+      if f then begin
+        Bitvec.set seen q;
+        stack := q :: !stack
+      end)
+    t.finals;
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not (Bitvec.mem seen p) then begin
+              Bitvec.set seen p;
+              stack := p :: !stack
+            end)
+          preds.(q);
+        loop ()
+  in
+  loop ();
+  seen
+
+let live t = Bitvec.inter (reachable t) (coreachable t)
+
+let restrict_states t keep =
+  if not (Bitvec.mem keep t.start) then None
+  else begin
+    let n_keep = Bitvec.cardinal keep in
+    let rename = Array.make t.size (-1) in
+    let next = ref 0 in
+    Bitvec.iter
+      (fun q ->
+        rename.(q) <- !next;
+        incr next)
+      keep;
+    let sink = n_keep in
+    let size = n_keep + 1 in
+    let delta = Array.make (size * t.alpha_size) sink in
+    let finals = Array.make size false in
+    Bitvec.iter
+      (fun q ->
+        finals.(rename.(q)) <- t.finals.(q);
+        for a = 0 to t.alpha_size - 1 do
+          let d = step t q a in
+          if Bitvec.mem keep d then
+            delta.((rename.(q) * t.alpha_size) + a) <- rename.(d)
+        done)
+      keep;
+    Some
+      {
+        alpha_size = t.alpha_size;
+        size;
+        start = rename.(t.start);
+        finals;
+        delta;
+      }
+  end
+
+let with_finals t finals =
+  if Array.length finals <> t.size then invalid_arg "Dfa.with_finals";
+  { t with finals = Array.copy finals }
+
+let complement t = { t with finals = Array.map not t.finals }
+
+let map_states t perm new_size =
+  let delta = Array.make (new_size * t.alpha_size) (-1) in
+  let finals = Array.make new_size false in
+  for q = 0 to t.size - 1 do
+    let q' = perm.(q) in
+    finals.(q') <- finals.(q') || t.finals.(q);
+    for a = 0 to t.alpha_size - 1 do
+      delta.((q' * t.alpha_size) + a) <- perm.(step t q a)
+    done
+  done;
+  let r =
+    { alpha_size = t.alpha_size; size = new_size; start = perm.(t.start); finals; delta }
+  in
+  validate r;
+  r
+
+let canonicalize t =
+  (* Assumes all states reachable (minimization guarantees this). *)
+  let order = Array.make t.size (-1) in
+  let next = ref 0 in
+  let assign q =
+    if order.(q) = -1 then begin
+      order.(q) <- !next;
+      incr next;
+      true
+    end
+    else false
+  in
+  let queue = Queue.create () in
+  ignore (assign t.start);
+  Queue.add t.start queue;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    for a = 0 to t.alpha_size - 1 do
+      let d = step t q a in
+      if assign d then Queue.add d queue
+    done
+  done;
+  if !next <> t.size then
+    invalid_arg "Dfa.canonicalize: unreachable states present";
+  map_states t order t.size
+
+let equal_structure a b =
+  a.alpha_size = b.alpha_size && a.size = b.size && a.start = b.start
+  && a.finals = b.finals && a.delta = b.delta
+
+let to_nfa t =
+  let delta =
+    Array.init t.size (fun q ->
+        Array.init t.alpha_size (fun a -> [ step t q a ]))
+  in
+  {
+    Nfa.alpha_size = t.alpha_size;
+    size = t.size;
+    starts = [ t.start ];
+    finals = Array.copy t.finals;
+    delta;
+    eps = Array.make t.size [];
+  }
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>dfa: %d states, start=%d@," t.size t.start;
+  for q = 0 to t.size - 1 do
+    fprintf ppf "  %d%s:" q (if t.finals.(q) then "*" else "");
+    for a = 0 to t.alpha_size - 1 do
+      fprintf ppf " %d->%d" a (step t q a)
+    done;
+    fprintf ppf "@,"
+  done;
+  fprintf ppf "@]"

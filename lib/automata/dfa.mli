@@ -1,0 +1,62 @@
+(** Complete deterministic finite automata.
+
+    Every DFA in this codebase is {e complete}: the transition function is
+    total (a sink state is materialized where needed).  This makes
+    complementation a finals-flip and keeps the product constructions
+    simple, at the cost of carrying an explicit dead state. *)
+
+type t = {
+  alpha_size : int;
+  size : int;
+  start : int;
+  finals : bool array;
+  delta : int array;  (** row-major: [delta.(q * alpha_size + a)] *)
+}
+
+val validate : t -> unit
+
+val step : t -> int -> int -> int
+(** [step d q a] — one transition. *)
+
+val run : t -> int array -> int
+(** State reached from the start on a word. *)
+
+val run_from : t -> int -> int array -> int
+val accepts : t -> int array -> bool
+
+val trivial : alpha_size:int -> bool -> t
+(** One-state DFA: Σ* when [true], ∅ when [false]. *)
+
+val reachable : t -> Bitvec.t
+(** States reachable from the start. *)
+
+val coreachable : t -> Bitvec.t
+(** States from which some final state is reachable. *)
+
+val live : t -> Bitvec.t
+(** Reachable ∧ co-reachable. *)
+
+val restrict_states : t -> Bitvec.t -> t option
+(** Keep only the given states (must include the start to return [Some]);
+    missing transitions are routed to a fresh sink, keeping the result
+    complete.  Returns [None] if the start state is excluded (empty
+    language); callers usually substitute [trivial ~alpha_size false]. *)
+
+val with_finals : t -> bool array -> t
+val complement : t -> t
+
+val map_states : t -> int array -> int -> t
+(** [map_states d perm new_size]: rename state [q] to [perm.(q)]
+    (a surjection onto [0..new_size-1] compatible with the transition
+    structure).  Used by minimization and canonicalization. *)
+
+val canonicalize : t -> t
+(** BFS-renumber states from the start (symbol order).  Two minimal
+    complete DFAs accept the same language iff their canonical forms are
+    structurally equal. *)
+
+val equal_structure : t -> t -> bool
+
+val to_nfa : t -> Nfa.t
+
+val pp : Format.formatter -> t -> unit

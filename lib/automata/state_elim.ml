@@ -1,0 +1,67 @@
+(* GNFA over states {0 = new start, 1..n = DFA states, n+1 = new final}
+   with regex-labelled edges stored in a dense matrix ([Empty] = no edge). *)
+
+let to_regex (d : Dfa.t) : Regex.t =
+  let live = Dfa.live d in
+  if not (Bitvec.mem live d.Dfa.start) then Regex.empty
+  else begin
+    let states = Bitvec.elements live in
+    let n = List.length states in
+    let id_of = Hashtbl.create (2 * n) in
+    List.iteri (fun i q -> Hashtbl.add id_of q (i + 1)) states;
+    let total = n + 2 in
+    let start = 0 and final = n + 1 in
+    let m = Array.make (total * total) Regex.empty in
+    let get i j = m.((i * total) + j) in
+    let set i j e = m.((i * total) + j) <- e in
+    let add i j e = set i j (Regex.alt (get i j) e) in
+    List.iter
+      (fun q ->
+        let i = Hashtbl.find id_of q in
+        for a = 0 to d.Dfa.alpha_size - 1 do
+          let t = Dfa.step d q a in
+          if Bitvec.mem live t then add i (Hashtbl.find id_of t) (Regex.sym a)
+        done;
+        if d.Dfa.finals.(q) then add i final Regex.eps)
+      states;
+    add start (Hashtbl.find id_of d.Dfa.start) Regex.eps;
+    let alive = Array.make total true in
+    (* Eliminate interior states cheapest-first (in-degree × out-degree). *)
+    let cost k =
+      let indeg = ref 0 and outdeg = ref 0 in
+      for i = 0 to total - 1 do
+        if alive.(i) && i <> k then begin
+          if get i k <> Regex.empty then incr indeg;
+          if get k i <> Regex.empty then incr outdeg
+        end
+      done;
+      !indeg * !outdeg
+    in
+    for _ = 1 to n do
+      let best = ref (-1) and best_cost = ref max_int in
+      for k = 1 to n do
+        if alive.(k) then begin
+          let c = cost k in
+          if c < !best_cost then begin
+            best := k;
+            best_cost := c
+          end
+        end
+      done;
+      let k = !best in
+      let loop = Regex.star (get k k) in
+      for i = 0 to total - 1 do
+        if alive.(i) && i <> k && get i k <> Regex.empty then
+          for j = 0 to total - 1 do
+            if alive.(j) && j <> k && get k j <> Regex.empty then
+              add i j (Regex.cat_list [ get i k; loop; get k j ])
+          done
+      done;
+      alive.(k) <- false;
+      for i = 0 to total - 1 do
+        set i k Regex.empty;
+        set k i Regex.empty
+      done
+    done;
+    get start final
+  end

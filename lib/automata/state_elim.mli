@@ -1,0 +1,10 @@
+(** DFA → regular expression via GNFA state elimination.
+
+    Used to render synthesized languages (the outputs of Algorithm 6.2 and
+    pivot maximization) back as readable extraction expressions.  The
+    result is language-equivalent to the input but not syntactically
+    minimal; elimination order is chosen by a degree heuristic and the
+    {!Regex} smart constructors absorb the easy redundancies (single-symbol
+    unions become classes, ε/∅ units disappear). *)
+
+val to_regex : Dfa.t -> Regex.t

@@ -1,0 +1,157 @@
+type t = {
+  alpha : Alphabet.t;
+  left : Regex.t;
+  mark : int;
+  right : Regex.t;
+}
+
+let make alpha left mark right =
+  if mark < 0 || mark >= Alphabet.size alpha then
+    invalid_arg "Extraction.make: mark symbol out of range";
+  { alpha; left; mark; right }
+
+let of_langs alpha l mark r =
+  make alpha (Lang.to_regex l) mark (Lang.to_regex r)
+
+(* "E1 <p> E2": locate the (unique, top-level) <ident> marker textually,
+   then parse the two sides.  An empty side denotes ε. *)
+let parse alpha s =
+  let n = String.length s in
+  let find_marker () =
+    let rec loop i depth =
+      if i >= n then None
+      else
+        match s.[i] with
+        | '(' -> loop (i + 1) (depth + 1)
+        | ')' -> loop (i + 1) (depth - 1)
+        | '<' ->
+            (* scan to '>' *)
+            let rec close j =
+              if j >= n then None
+              else if s.[j] = '>' then Some j
+              else close (j + 1)
+            in
+            (match close (i + 1) with
+            | Some j when depth = 0 -> Some (i, j)
+            | Some j -> loop (j + 1) depth
+            | None -> None)
+        | _ -> loop (i + 1) depth
+    in
+    loop 0 0
+  in
+  match find_marker () with
+  | None ->
+      raise (Regex_parse.Parse_error ("missing <p> marker", 0))
+  | Some (i, j) ->
+      let name = String.trim (String.sub s (i + 1) (j - i - 1)) in
+      let mark =
+        match Alphabet.find alpha name with
+        | Some a -> a
+        | None ->
+            raise
+              (Regex_parse.Parse_error ("unknown marked symbol " ^ name, i))
+      in
+      let parse_side str =
+        if String.trim str = "" then Regex.eps
+        else Regex_parse.parse alpha str
+      in
+      let left = parse_side (String.sub s 0 i) in
+      let right = parse_side (String.sub s (j + 1) (n - j - 1)) in
+      make alpha left mark right
+
+let pp ppf t =
+  (* compact: extraction expressions are displayed/persisted for their
+     language, so the shorter negated-class form is preferred *)
+  Format.fprintf ppf "%a <%s> %a"
+    (Regex.pp ~compact:true t.alpha)
+    t.left
+    (Alphabet.name t.alpha t.mark)
+    (Regex.pp ~compact:true t.alpha)
+    t.right
+
+let to_string t = Format.asprintf "%a" pp t
+
+let left_lang t = Lang.of_regex t.alpha t.left
+let right_lang t = Lang.of_regex t.alpha t.right
+
+let language t =
+  Lang.concat_list t.alpha
+    [ left_lang t; Lang.sym t.alpha t.mark; right_lang t ]
+
+type matcher = {
+  expr : t;
+  left_dfa : Dfa.t;
+  (* DFA of the reversed right language: running it over the suffix read
+     right-to-left decides suffix ∈ L(E2). *)
+  right_rev_dfa : Dfa.t;
+}
+
+let compile expr =
+  {
+    expr;
+    left_dfa = Lang.dfa (left_lang expr);
+    right_rev_dfa = Lang.dfa (Lang.reverse (right_lang expr));
+  }
+
+let matcher_expr m = m.expr
+
+let matcher_splits m w =
+  let n = Array.length w in
+  let mark = m.expr.mark in
+  (* suffix_ok.(i) ⇔ w[i..n) ∈ L(E2); computed right-to-left. *)
+  let suffix_ok = Array.make (n + 1) false in
+  let state = ref m.right_rev_dfa.Dfa.start in
+  suffix_ok.(n) <- m.right_rev_dfa.Dfa.finals.(!state);
+  for i = n - 1 downto 0 do
+    state := Dfa.step m.right_rev_dfa !state w.(i);
+    suffix_ok.(i) <- m.right_rev_dfa.Dfa.finals.(!state)
+  done;
+  let acc = ref [] in
+  let lstate = ref m.left_dfa.Dfa.start in
+  for i = 0 to n - 1 do
+    if w.(i) = mark && m.left_dfa.Dfa.finals.(!lstate) && suffix_ok.(i + 1)
+    then acc := i :: !acc;
+    lstate := Dfa.step m.left_dfa !lstate w.(i)
+  done;
+  List.rev !acc
+
+let classify = function
+  | [] -> `No_match
+  | [ i ] -> `Unique i
+  | l -> `Ambiguous l
+
+let matcher_extract m w = classify (matcher_splits m w)
+
+let matcher_online m = Dfa_ops.is_universal m.right_rev_dfa
+
+let matcher_stream_splits m syms =
+  if not (matcher_online m) then
+    invalid_arg "Extraction.matcher_stream_splits: right side is not Σ*";
+  let mark = m.expr.mark in
+  let dfa = m.left_dfa in
+  (* unfold over (remaining stream, left-DFA state, position) *)
+  let rec next (syms, state, i) () =
+    match syms () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (a, rest) ->
+        let hit = a = mark && dfa.Dfa.finals.(state) in
+        let st' = (rest, Dfa.step dfa state a, i + 1) in
+        if hit then Seq.Cons (i, next st') else next st' ()
+  in
+  next (syms, dfa.Dfa.start, 0)
+
+let splits t w =
+  let l = left_lang t and r = right_lang t in
+  let n = Array.length w in
+  let ok = ref [] in
+  for i = n - 1 downto 0 do
+    if
+      w.(i) = t.mark
+      && Lang.mem l (Array.sub w 0 i)
+      && Lang.mem r (Array.sub w (i + 1) (n - i - 1))
+    then ok := i :: !ok
+  done;
+  !ok
+
+let parses t w = splits t w <> []
+let extract t w = classify (splits t w)

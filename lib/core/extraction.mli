@@ -1,0 +1,71 @@
+(** Extraction expressions [E1 ⟨p⟩ E2] (Definition 4.1).
+
+    An extraction expression is a regular expression of the special form
+    [E1 · p · E2] with one {e marked} occurrence [⟨p⟩] of an alphabet
+    symbol.  It parses the language [L(E1 · p · E2)] and, on a parsed
+    string [ρ = α·p·β] with [α ∈ L(E1)], [β ∈ L(E2)], it {e extracts}
+    the marked occurrence of [p].
+
+    Concrete syntax: [E1 <p> E2], e.g. ["([^p])* <p> .*"] for the
+    paper's [(Σ−p)* ⟨p⟩ Σ*]. *)
+
+type t = {
+  alpha : Alphabet.t;
+  left : Regex.t;
+  mark : int;  (** the marked symbol p *)
+  right : Regex.t;
+}
+
+val make : Alphabet.t -> Regex.t -> int -> Regex.t -> t
+(** @raise Invalid_argument if the mark is not an alphabet symbol. *)
+
+val of_langs : Alphabet.t -> Lang.t -> int -> Lang.t -> t
+(** Build from language values; sides are rendered via {!Lang.to_regex}. *)
+
+val parse : Alphabet.t -> string -> t
+(** Parse ["E1 <p> E2"].  @raise Regex_parse.Parse_error on bad syntax
+    (including a missing or duplicated [<p>] marker). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Semantics} *)
+
+val left_lang : t -> Lang.t
+val right_lang : t -> Lang.t
+
+val language : t -> Lang.t
+(** [L(E1 · p · E2)] — the language parsed by the expression. *)
+
+val parses : t -> Word.t -> bool
+
+val splits : t -> Word.t -> int list
+(** All positions [i] with [w.(i) = p], [w[0..i) ∈ L(E1)] and
+    [w(i..] ∈ L(E2)] — the candidate extractions, ascending.  Uses a
+    brute per-position check; see {!compile} for the linear-time path. *)
+
+val extract : t -> Word.t -> [ `Unique of int | `Ambiguous of int list | `No_match ]
+
+(** {1 Compiled matchers} *)
+
+type matcher
+(** Pre-compiled form: the left language's DFA is run forward and the
+    reversed right language's DFA backward, so all split positions of a
+    word of length n are found in O(n) transitions. *)
+
+val compile : t -> matcher
+val matcher_expr : matcher -> t
+val matcher_splits : matcher -> Word.t -> int list
+val matcher_extract :
+  matcher -> Word.t -> [ `Unique of int | `Ambiguous of int list | `No_match ]
+
+val matcher_online : matcher -> bool
+(** Whether the right side is Σ*, making one-pass streaming extraction
+    possible (no suffix check needed). *)
+
+val matcher_stream_splits : matcher -> int Seq.t -> int Seq.t
+(** Lazily yield split positions while consuming a token stream — each
+    position is emitted as soon as its prefix has been read, without
+    buffering the page.  Only defined for Σ*-right expressions, which is
+    what maximization produces for the §7 pipeline.
+    @raise Invalid_argument if [not (matcher_online m)]. *)

@@ -1,0 +1,113 @@
+type error =
+  | Ambiguous of Word.t option
+  | Unbounded_mark_count
+  | Right_side_not_sigma_star
+  | Left_side_not_sigma_star
+
+let pp_error ppf = function
+  | Ambiguous _ -> Format.pp_print_string ppf "input expression is ambiguous"
+  | Unbounded_mark_count ->
+      Format.pp_print_string ppf
+        "left side matches unboundedly many marked symbols (Algorithm 6.2 \
+         precondition); try pivot maximization"
+  | Right_side_not_sigma_star ->
+      Format.pp_print_string ppf "right side is not Σ*"
+  | Left_side_not_sigma_star ->
+      Format.pp_print_string ppf "left side is not Σ*"
+
+let bounded_mark_count l p =
+  match Lang.max_sym_count l ~sym:p with
+  | `Empty -> Some 0
+  | `Bounded n -> Some n
+  | `Unbounded -> None
+
+let maximize_lang (e : Lang.t) (p : int) : (Lang.t, error) result =
+  let alpha = Lang.alphabet e in
+  let sigma_star = Lang.sigma_star alpha in
+  if Ambiguity.is_ambiguous_langs e p sigma_star then
+    Error
+      (Ambiguous
+         (Ambiguity.witness (Extraction.of_langs alpha e p sigma_star)))
+  else
+    match bounded_mark_count e p with
+    | None -> Error Unbounded_mark_count
+    | Some _bound ->
+        let psigma = Lang.concat (Lang.sym alpha p) sigma_star in
+        let f = Lang.suffix_quotient e psigma in
+        let nop_star = Lang.of_regex alpha (Regex.any_but_star p) in
+        let filt n = Lang.filter_count f ~sym:p n in
+        (* S := (Σ−p)* − F‖_p^0; each iteration's F‖_p^{n+1} is reused as
+           the next iteration's F‖_p^n, so every filter is built once. *)
+        let f0 = filt 0 in
+        let s = ref (Lang.diff nop_star f0) in
+        let fn = ref f0 in
+        let n = ref 0 in
+        while not (Lang.is_empty !fn) do
+          (* S := S + (F‖_p^n · p · (Σ−p)* − F‖_p^{n+1}) *)
+          let fn1 = filt (!n + 1) in
+          let block =
+            Lang.diff
+              (Lang.concat_list alpha [ !fn; Lang.sym alpha p; nop_star ])
+              fn1
+          in
+          s := Lang.union !s block;
+          fn := fn1;
+          incr n
+        done;
+        Ok (Lang.union e !s)
+
+let is_sigma_star l = Lang.is_universal l
+
+let maximize (e : Extraction.t) =
+  if not (is_sigma_star (Extraction.right_lang e)) then
+    Error Right_side_not_sigma_star
+  else
+    match maximize_lang (Extraction.left_lang e) e.Extraction.mark with
+    | Error err -> Error err
+    | Ok e' ->
+        Ok
+          (Extraction.of_langs e.Extraction.alpha e' e.Extraction.mark
+             (Lang.sigma_star e.Extraction.alpha))
+
+(* Mirror image.  Unambiguity, the order ≼, and maximality are all
+   preserved by reversal with the two sides swapped: ρ = α·p·β splits of
+   E1⟨p⟩E2 correspond to rev ρ = rev β·p·rev α splits of
+   rev E2⟨p⟩rev E1. *)
+let maximize_right_lang (e : Lang.t) (p : int) =
+  match maximize_lang (Lang.reverse e) p with
+  | Error err -> Error err
+  | Ok e' -> Ok (Lang.reverse e')
+
+let maximize_right (e : Extraction.t) =
+  if not (is_sigma_star (Extraction.left_lang e)) then
+    Error Left_side_not_sigma_star
+  else
+    match maximize_right_lang (Extraction.right_lang e) e.Extraction.mark with
+    | Error err -> Error err
+    | Ok e' ->
+        Ok
+          (Extraction.of_langs e.Extraction.alpha
+             (Lang.sigma_star e.Extraction.alpha)
+             e.Extraction.mark e')
+
+let relax_right (e : Extraction.t) =
+  let alpha = e.Extraction.alpha in
+  let l1 = Extraction.left_lang e in
+  let p = Lang.sym alpha e.Extraction.mark in
+  let cond = Lang.prefix_quotient (Lang.concat l1 p) l1 in
+  if Lang.is_empty cond then
+    Some
+      (Extraction.make alpha e.Extraction.left e.Extraction.mark
+         Regex.sigma_star)
+  else None
+
+let relax_left (e : Extraction.t) =
+  let alpha = e.Extraction.alpha in
+  let l2 = Extraction.right_lang e in
+  let p = Lang.sym alpha e.Extraction.mark in
+  let cond = Lang.suffix_quotient l2 (Lang.concat p l2) in
+  if Lang.is_empty cond then
+    Some
+      (Extraction.make alpha Regex.sigma_star e.Extraction.mark
+         e.Extraction.right)
+  else None

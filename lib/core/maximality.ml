@@ -1,0 +1,42 @@
+type verdict =
+  | Maximal
+  | Not_maximal_left of Word.t
+  | Not_maximal_right of Word.t
+  | Ambiguous_input of Word.t option
+
+let full_lang l1 p l2 =
+  let alpha = Lang.alphabet l1 in
+  Lang.concat_list alpha [ l1; Lang.sym alpha p; l2 ]
+
+(* Σ* − (E1·p·E2)/(p·E2) *)
+let left_deficiency l1 p l2 =
+  let alpha = Lang.alphabet l1 in
+  let whole = full_lang l1 p l2 in
+  let pe2 = Lang.concat (Lang.sym alpha p) l2 in
+  Lang.diff (Lang.sigma_star alpha) (Lang.suffix_quotient whole pe2)
+
+(* Σ* − (E1·p)\(E1·p·E2) *)
+let right_deficiency l1 p l2 =
+  let alpha = Lang.alphabet l1 in
+  let whole = full_lang l1 p l2 in
+  let e1p = Lang.concat l1 (Lang.sym alpha p) in
+  Lang.diff (Lang.sigma_star alpha) (Lang.prefix_quotient e1p whole)
+
+let is_maximal_langs l1 p l2 =
+  Lang.is_empty (left_deficiency l1 p l2)
+  && Lang.is_empty (right_deficiency l1 p l2)
+
+let check (e : Extraction.t) =
+  let l1 = Extraction.left_lang e and l2 = Extraction.right_lang e in
+  let p = e.Extraction.mark in
+  if Ambiguity.is_ambiguous_langs l1 p l2 then
+    Ambiguous_input (Ambiguity.witness e)
+  else
+    match Lang.shortest (left_deficiency l1 p l2) with
+    | Some w -> Not_maximal_left w
+    | None -> (
+        match Lang.shortest (right_deficiency l1 p l2) with
+        | Some w -> Not_maximal_right w
+        | None -> Maximal)
+
+let is_maximal e = check e = Maximal

@@ -1,0 +1,40 @@
+(** Deciding maximality of unambiguous extraction expressions
+    (Defn 4.5, Prop 5.7, Cor 5.8, Thm 5.12).
+
+    An unambiguous [E1⟨p⟩E2] is {e maximal} iff no unambiguous expression
+    strictly above it in [≼] parses a larger language.  By Cor 5.8 this
+    holds iff both
+
+    - [(E1·p·E2) / (p·E2) = Σ*], and
+    - [(E1·p) \ (E1·p·E2) = Σ*].
+
+    The test is PSPACE-complete in general (Thm 5.12 — universality of a
+    regular expression, Lemma 5.9); here it is exact via complementation
+    of the minimal DFA, which is exponential-time in the worst case but
+    fast at wrapper scale (experiment E3 measures the blowup family). *)
+
+type verdict =
+  | Maximal
+  | Not_maximal_left of Word.t
+      (** A word ρ ∉ (E1·p·E2)/(p·E2): per the proof of Prop 5.7,
+          [(ρ|E1)⟨p⟩E2] is unambiguous and strictly larger. *)
+  | Not_maximal_right of Word.t
+      (** Dually, a word extending E2. *)
+  | Ambiguous_input of Word.t option
+      (** Maximality is only defined for unambiguous expressions; the
+          witness is an ambiguously-parsed word if one was computed. *)
+
+val check : Extraction.t -> verdict
+
+val is_maximal : Extraction.t -> bool
+(** [check e = Maximal].  Ambiguous input ⇒ [false]. *)
+
+val is_maximal_langs : Lang.t -> int -> Lang.t -> bool
+(** Language-level Cor 5.8 test, unambiguity {e not} re-checked —
+    internal fast path for the synthesis algorithms. *)
+
+val left_deficiency : Lang.t -> int -> Lang.t -> Lang.t
+(** [Σ* − (E1·p·E2)/(p·E2)]: words that could be adjoined to E1. *)
+
+val right_deficiency : Lang.t -> int -> Lang.t -> Lang.t
+(** [Σ* − (E1·p)\(E1·p·E2)]: words that could be adjoined to E2. *)

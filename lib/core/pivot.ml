@@ -1,0 +1,138 @@
+type decomposition = { segments : Regex.t list; pivots : int list }
+
+let pp_decomposition alpha ppf d =
+  let rec loop ppf (segs, pivs) =
+    match (segs, pivs) with
+    | [ s ], [] -> Format.fprintf ppf "(%a)" (Regex.pp alpha) s
+    | s :: segs, q :: pivs ->
+        Format.fprintf ppf "(%a) ⋅%s⋅ %a" (Regex.pp alpha) s
+          (Alphabet.name alpha q) loop (segs, pivs)
+    | _ -> Format.pp_print_string ppf "<malformed decomposition>"
+  in
+  loop ppf (d.segments, d.pivots)
+
+let recompose d =
+  let rec loop segs pivs =
+    match (segs, pivs) with
+    | [ s ], [] -> s
+    | s :: segs, q :: pivs ->
+        Regex.cat (Regex.cat s (Regex.sym q)) (loop segs pivs)
+    | _ -> invalid_arg "Pivot.recompose: malformed decomposition"
+  in
+  loop d.segments d.pivots
+
+type error = Bad_shape | Segment_failure of int * Left_filter.error
+
+let pp_error ppf = function
+  | Bad_shape ->
+      Format.pp_print_string ppf "segment/pivot counts do not line up"
+  | Segment_failure (i, e) ->
+      Format.fprintf ppf "factor %d: %a" i Left_filter.pp_error e
+
+let well_shaped d =
+  List.length d.segments = List.length d.pivots + 1 && d.segments <> []
+
+(* The per-factor side condition: Ei⟨qi⟩Σ* unambiguous with bounded
+   qi-count, where the final factor is checked against [p]. *)
+let factor_marks d p = d.pivots @ [ p ]
+
+let check_factor alpha seg q =
+  let l = Lang.of_regex alpha seg in
+  let sigma_star = Lang.sigma_star alpha in
+  if Ambiguity.is_ambiguous_langs l q sigma_star then
+    Error
+      (Left_filter.Ambiguous
+         (Ambiguity.witness (Extraction.of_langs alpha l q sigma_star)))
+  else
+    match Left_filter.bounded_mark_count l q with
+    | None -> Error Left_filter.Unbounded_mark_count
+    | Some _ -> Ok l
+
+let validate alpha d p =
+  if not (well_shaped d) then Error Bad_shape
+  else
+    let rec loop i segs marks =
+      match (segs, marks) with
+      | [], [] -> Ok ()
+      | seg :: segs, q :: marks -> (
+          match check_factor alpha seg q with
+          | Error e -> Error (Segment_failure (i, e))
+          | Ok _ -> loop (i + 1) segs marks)
+      | _ -> Error Bad_shape
+    in
+    loop 0 d.segments (factor_marks d p)
+
+let maximize alpha d p =
+  if not (well_shaped d) then Error Bad_shape
+  else
+    let rec loop i segs marks acc =
+      match (segs, marks) with
+      | [], [] -> Ok (List.rev acc)
+      | seg :: segs, q :: marks -> (
+          match check_factor alpha seg q with
+          | Error e -> Error (Segment_failure (i, e))
+          | Ok l -> (
+              match Left_filter.maximize_lang l q with
+              | Error e -> Error (Segment_failure (i, e))
+              | Ok l' -> loop (i + 1) segs marks (l' :: acc)))
+      | _ -> Error Bad_shape
+    in
+    match loop 0 d.segments (factor_marks d p) [] with
+    | Error e -> Error e
+    | Ok maxed ->
+        (* Interleave E'1 q1 E'2 … qn E'(n+1). *)
+        let rec weave ls qs =
+          match (ls, qs) with
+          | [ l ], [] -> [ l ]
+          | l :: ls, q :: qs -> l :: Lang.sym alpha q :: weave ls qs
+          | _ -> invalid_arg "Pivot.maximize: weave"
+        in
+        let left = Lang.concat_list alpha (weave maxed d.pivots) in
+        Ok (Extraction.of_langs alpha left p (Lang.sigma_star alpha))
+
+(* Flatten the top-level concatenation spine into atoms. *)
+let rec cat_spine (re : Regex.t) : Regex.t list =
+  match re with
+  | Regex.Cat (a, b) -> cat_spine a @ cat_spine b
+  | re -> [ re ]
+
+let literal_sym (re : Regex.t) : int option =
+  match re with
+  | Regex.Cls { neg = false; syms } when Symset.cardinal syms = 1 ->
+      Some (Symset.min_elt syms)
+  | _ -> None
+
+let auto_decompose alpha re p =
+  let atoms = cat_spine re in
+  let seg_of rev_atoms = Regex.cat_list (List.rev rev_atoms) in
+  let ok seg q = Result.is_ok (check_factor alpha seg q) in
+  let rec walk atoms cur segs pivs =
+    match atoms with
+    | [] ->
+        let last = seg_of cur in
+        if ok last p then
+          Some { segments = List.rev (last :: segs); pivots = List.rev pivs }
+        else None
+    | atom :: rest -> (
+        match literal_sym atom with
+        | Some q when ok (seg_of cur) q ->
+            walk rest [] (seg_of cur :: segs) (q :: pivs)
+        | _ -> walk rest (atom :: cur) segs pivs)
+  in
+  walk atoms [] [] []
+
+let compose (e1 : Extraction.t) (e2 : Extraction.t) =
+  let alpha = e1.Extraction.alpha in
+  if not (Alphabet.equal alpha e2.Extraction.alpha) then
+    invalid_arg "Pivot.compose: different alphabets";
+  if
+    not
+      (Lang.is_universal (Extraction.right_lang e1)
+      && Lang.is_universal (Extraction.right_lang e2))
+  then invalid_arg "Pivot.compose: right sides must be Σ*";
+  let left =
+    Regex.cat
+      (Regex.cat e1.Extraction.left (Regex.sym e1.Extraction.mark))
+      e2.Extraction.left
+  in
+  Extraction.make alpha left e2.Extraction.mark Regex.sigma_star

@@ -1,0 +1,33 @@
+type t = Tags | Tags_with_attrs of (string * string) list
+
+let refinements t name =
+  match t with
+  | Tags -> None
+  | Tags_with_attrs specs ->
+      List.find_map
+        (fun (el, attr) ->
+          if String.uppercase_ascii el = String.uppercase_ascii name then
+            Some attr
+          else None)
+        specs
+
+let start_symbol t name attrs =
+  let name = String.uppercase_ascii name in
+  match refinements t name with
+  | None -> name
+  | Some attr -> (
+      match
+        List.find_opt (fun a -> a.Html_token.name = attr) attrs
+      with
+      | Some { Html_token.value = Some v; _ } ->
+          Printf.sprintf "%s:%s=%s" name attr (String.lowercase_ascii v)
+      | Some { Html_token.value = None; _ } | None -> name)
+
+let end_symbol name = "/" ^ String.uppercase_ascii name
+
+let pp ppf = function
+  | Tags -> Format.pp_print_string ppf "tags"
+  | Tags_with_attrs specs ->
+      Format.fprintf ppf "tags+attrs(%s)"
+        (String.concat ","
+           (List.map (fun (el, at) -> el ^ "." ^ at) specs))

@@ -1,0 +1,15 @@
+(** A practical HTML tokenizer.
+
+    Handles start/end tags with quoted, unquoted, and valueless
+    attributes, self-closing syntax, comments, doctype, and the raw-text
+    content model of [script] and [style] (their bodies are emitted as a
+    single [Text] token, unparsed).  Malformed input never raises: stray
+    [<] characters are treated as text, unterminated constructs run to
+    end of input.  This is the §3 substrate: pages become token streams
+    before being abstracted to tag sequences. *)
+
+val tokenize : string -> Html_token.t list
+
+val tags_only : Html_token.t list -> Html_token.t list
+(** Drop text, comments, and doctype — the paper's abstraction keeps
+    only the tag skeleton. *)

@@ -1,0 +1,58 @@
+(** HTML document trees.
+
+    A forgiving stack-based tree builder over {!Html_lexer} tokens:
+    void elements ([BR], [IMG], [INPUT], …) never take children;
+    common implied-end-tag rules are applied ([P] closed by block
+    elements, [LI] by [LI], [TR] by [TR], [TD]/[TH] by [TD]/[TH]/[TR],
+    [OPTION] by [OPTION]); an unmatched end tag closes up to its nearest
+    open ancestor or is dropped.  The result is the DOM-ish structure the
+    perturbation models (§3's change taxonomy) operate on. *)
+
+type node =
+  | Element of {
+      name : string;  (** upper case *)
+      attrs : Html_token.attr list;
+      children : node list;
+    }
+  | Text of string
+  | Comment of string
+
+type doc = node list
+
+val parse : string -> doc
+val of_tokens : Html_token.t list -> doc
+
+val element : ?attrs:(string * string option) list -> string -> node list -> node
+(** Convenience constructor; the name is upper-cased. *)
+
+val text : string -> node
+
+val to_string : ?indent:bool -> doc -> string
+(** Serialize back to HTML source. *)
+
+val is_void : string -> bool
+
+(** {1 Paths and traversal}
+
+    A {e path} addresses a node as the list of child indices from the
+    root list, e.g. [[1; 0]] = second root node's first child. *)
+
+type path = int list
+
+val node_at : doc -> path -> node option
+val replace_at : doc -> path -> (node -> node list) -> doc option
+(** Replace the addressed node by a (possibly empty or plural) node
+    list; [None] if the path dangles. *)
+
+val insert_at : doc -> path -> node -> doc option
+(** Insert a node so that it takes position [path] (siblings shift). *)
+
+val fold : ('a -> path -> node -> 'a) -> 'a -> doc -> 'a
+(** Pre-order fold over all nodes with their paths. *)
+
+val find_all : (node -> bool) -> doc -> (path * node) list
+val find_elements : string -> doc -> (path * node) list
+(** All elements with the given (case-insensitive) tag name. *)
+
+val count_nodes : doc -> int
+val equal : doc -> doc -> bool

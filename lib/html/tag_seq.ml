@@ -1,0 +1,70 @@
+type origin = Open_of of Html_tree.path | Close_of of Html_tree.path
+
+module SS = Set.Make (String)
+
+let doc_symbols abs doc =
+  Html_tree.fold
+    (fun acc _ nd ->
+      match nd with
+      | Html_tree.Element { name; attrs; _ } ->
+          let acc = SS.add (Abstraction.start_symbol abs name attrs) acc in
+          if Html_tree.is_void name then acc
+          else SS.add (Abstraction.end_symbol name) acc
+      | Html_tree.Text _ | Html_tree.Comment _ -> acc)
+    SS.empty doc
+
+let tag_names ?(abs = Abstraction.Tags) doc = SS.elements (doc_symbols abs doc)
+
+let alphabet_of_docs ?(abs = Abstraction.Tags) docs =
+  let names =
+    List.fold_left (fun acc d -> SS.union acc (doc_symbols abs d)) SS.empty docs
+  in
+  Alphabet.make (SS.elements names)
+
+let emit_doc abs alpha doc =
+  let syms = ref [] and origins = ref [] in
+  let push s o =
+    syms := s :: !syms;
+    origins := o :: !origins
+  in
+  let code name =
+    match Alphabet.find alpha name with
+    | Some c -> c
+    | None -> invalid_arg ("Tag_seq: tag not in alphabet: " ^ name)
+  in
+  let rec go rev_path i nodes =
+    match nodes with
+    | [] -> ()
+    | nd :: rest ->
+        let path = List.rev (i :: rev_path) in
+        (match nd with
+        | Html_tree.Element { name; attrs; children } ->
+            push (code (Abstraction.start_symbol abs name attrs)) (Open_of path);
+            if not (Html_tree.is_void name) then begin
+              go (i :: rev_path) 0 children;
+              push (code (Abstraction.end_symbol name)) (Close_of path)
+            end
+        | Html_tree.Text _ | Html_tree.Comment _ -> ());
+        go rev_path (i + 1) rest
+  in
+  go [] 0 doc;
+  (Word.of_list (List.rev !syms), Array.of_list (List.rev !origins))
+
+let of_doc_indexed ?(abs = Abstraction.Tags) alpha doc = emit_doc abs alpha doc
+let of_doc ?(abs = Abstraction.Tags) alpha doc = fst (emit_doc abs alpha doc)
+
+let mark_of_path ?(abs = Abstraction.Tags) alpha doc path =
+  match Html_tree.node_at doc path with
+  | Some (Html_tree.Element _) ->
+      let word, origins = emit_doc abs alpha doc in
+      let found = ref None in
+      Array.iteri
+        (fun i o -> if !found = None && o = Open_of path then found := Some i)
+        origins;
+      (match !found with Some i -> Some (word, i) | None -> None)
+  | Some (Html_tree.Text _ | Html_tree.Comment _) | None -> None
+
+let path_of_mark ?(abs = Abstraction.Tags) alpha doc i =
+  let _, origins = emit_doc abs alpha doc in
+  if i < 0 || i >= Array.length origins then None
+  else match origins.(i) with Open_of p -> Some p | Close_of p -> Some p

@@ -1,0 +1,44 @@
+(** The §3 abstraction: documents as tag sequences over an interned
+    alphabet, with a bidirectional mapping between sequence positions and
+    tree nodes so that a target {e node} can be marked as a sequence
+    {e position} (and an extracted position mapped back to a node).
+
+    Start tags map to symbols named like the tag ([FORM]) — or, under a
+    finer {!Abstraction.t}, refined by an attribute value
+    ([INPUT:type=text]).  End tags of non-void elements map to [/FORM].
+    Text and comments are dropped, exactly as in the paper's
+    representation.  All functions take the abstraction as an optional
+    argument defaulting to {!Abstraction.Tags} (the paper's model). *)
+
+type origin =
+  | Open_of of Html_tree.path  (** token is the start tag of this node *)
+  | Close_of of Html_tree.path
+
+val tag_names : ?abs:Abstraction.t -> Html_tree.doc -> string list
+(** Symbol names occurring in a document (sorted, distinct; includes
+    refined start symbols and [/T] close symbols). *)
+
+val alphabet_of_docs : ?abs:Abstraction.t -> Html_tree.doc list -> Alphabet.t
+(** Alphabet covering every symbol the given documents emit. *)
+
+val of_doc : ?abs:Abstraction.t -> Alphabet.t -> Html_tree.doc -> Word.t
+(** The tag sequence.  @raise Invalid_argument if the document emits a
+    symbol missing from the alphabet. *)
+
+val of_doc_indexed :
+  ?abs:Abstraction.t -> Alphabet.t -> Html_tree.doc -> Word.t * origin array
+(** Tag sequence plus, for each position, the node it came from. *)
+
+val mark_of_path :
+  ?abs:Abstraction.t ->
+  Alphabet.t ->
+  Html_tree.doc ->
+  Html_tree.path ->
+  (Word.t * int) option
+(** [(word, i)] where [i] is the position of the start tag of the node
+    at the given path; [None] if the path misses or addresses a
+    text/comment node. *)
+
+val path_of_mark :
+  ?abs:Abstraction.t -> Alphabet.t -> Html_tree.doc -> int -> Html_tree.path option
+(** Inverse: which node's start (or end) tag sits at position [i]. *)

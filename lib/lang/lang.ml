@@ -1,0 +1,156 @@
+type t = { alpha : Alphabet.t; dfa : Dfa.t }
+
+let alphabet t = t.alpha
+let dfa t = t.dfa
+let state_count t = t.dfa.Dfa.size
+
+let check_compat a b =
+  if not (Alphabet.equal a.alpha b.alpha) then
+    invalid_arg "Lang: operands over different alphabets"
+
+let of_dfa alpha d =
+  if d.Dfa.alpha_size <> Alphabet.size alpha then
+    invalid_arg "Lang.of_dfa: alphabet size mismatch";
+  { alpha; dfa = Minimize.minimize d }
+
+let of_nfa alpha n =
+  if n.Nfa.alpha_size <> Alphabet.size alpha then
+    invalid_arg "Lang.of_nfa: alphabet size mismatch";
+  { alpha; dfa = Minimize.minimize (Determinize.run n) }
+
+let empty alpha =
+  { alpha; dfa = Dfa.trivial ~alpha_size:(Alphabet.size alpha) false }
+
+let sigma_star alpha =
+  { alpha; dfa = Dfa.trivial ~alpha_size:(Alphabet.size alpha) true }
+
+let union a b =
+  check_compat a b;
+  { a with dfa = Minimize.minimize (Dfa_ops.union a.dfa b.dfa) }
+
+let inter a b =
+  check_compat a b;
+  { a with dfa = Minimize.minimize (Dfa_ops.inter a.dfa b.dfa) }
+
+let diff a b =
+  check_compat a b;
+  { a with dfa = Minimize.minimize (Dfa_ops.difference a.dfa b.dfa) }
+
+let concat a b =
+  check_compat a b;
+  of_nfa a.alpha (Nfa.concat (Dfa.to_nfa a.dfa) (Dfa.to_nfa b.dfa))
+
+let star a = of_nfa a.alpha (Nfa.star (Dfa.to_nfa a.dfa))
+
+let complement a =
+  { a with dfa = Minimize.minimize (Dfa.complement a.dfa) }
+
+let reverse a = { a with dfa = Minimize.minimize (Dfa_ops.reverse a.dfa) }
+
+let rec of_regex alpha (re : Regex.t) : t =
+  if not (Regex.is_extended re) then of_nfa alpha (Nfa.of_regex alpha re)
+  else
+    match re with
+    | Regex.Empty -> empty alpha
+    | Regex.Eps | Regex.Cls _ ->
+        (* Negated classes are handled directly by Thompson. *)
+        of_nfa alpha (Nfa.of_regex alpha re)
+    | Regex.Alt (x, y) -> union (of_regex alpha x) (of_regex alpha y)
+    | Regex.Cat (x, y) -> concat (of_regex alpha x) (of_regex alpha y)
+    | Regex.Star x -> star (of_regex alpha x)
+    | Regex.Inter (x, y) -> inter (of_regex alpha x) (of_regex alpha y)
+    | Regex.Diff (x, y) -> diff (of_regex alpha x) (of_regex alpha y)
+    | Regex.Compl x -> complement (of_regex alpha x)
+
+let parse alpha s = of_regex alpha (Regex_parse.parse alpha s)
+let epsilon alpha = of_regex alpha Regex.eps
+let sym alpha a = of_regex alpha (Regex.sym a)
+
+let word alpha w =
+  of_nfa alpha (Nfa.word ~alpha_size:(Alphabet.size alpha) w)
+
+let of_words alpha ws =
+  List.fold_left (fun acc w -> union acc (word alpha w)) (empty alpha) ws
+
+let union_list alpha ls = List.fold_left union (empty alpha) ls
+
+let concat_list alpha ls = List.fold_left concat (epsilon alpha) ls
+
+let suffix_quotient a b =
+  check_compat a b;
+  { a with dfa = Minimize.minimize (Dfa_ops.suffix_quotient a.dfa b.dfa) }
+
+let prefix_quotient b a =
+  check_compat a b;
+  { a with dfa = Minimize.minimize (Dfa_ops.prefix_quotient b.dfa a.dfa) }
+
+let filter_count a ~sym n =
+  { a with dfa = Minimize.minimize (Dfa_ops.filter_count a.dfa ~sym n) }
+
+let max_sym_count a ~sym = Dfa_ops.max_sym_count a.dfa ~sym
+
+let is_empty a = Dfa_ops.is_empty a.dfa
+let is_universal a = Dfa_ops.is_universal a.dfa
+
+let subset a b =
+  check_compat a b;
+  Dfa_ops.includes b.dfa a.dfa
+
+(* Canonical minimal DFAs make equality structural. *)
+let equal a b =
+  check_compat a b;
+  Dfa.equal_structure a.dfa b.dfa
+
+let mem a w = Dfa.accepts a.dfa w
+let nullable a = a.dfa.Dfa.finals.(a.dfa.Dfa.start)
+let shortest a = Dfa_ops.shortest_accepted a.dfa
+let shortest_not_in a = Dfa_ops.shortest_rejected a.dfa
+
+let shortest_in_diff a b =
+  check_compat a b;
+  Dfa_ops.shortest_in_difference a.dfa b.dfa
+
+let words_upto a n =
+  List.of_seq (Seq.filter (mem a) (Word.enumerate a.alpha n))
+
+let to_regex a = State_elim.to_regex a.dfa
+let to_string a = Regex.to_string a.alpha (to_regex a)
+let pp ppf a = Regex.pp a.alpha ppf (to_regex a)
+
+let sample a rng ~max_len =
+  let d = a.dfa in
+  let live = Dfa.live d in
+  if not (Bitvec.mem live d.Dfa.start) then None
+  else begin
+    (* precompute, per live state, the symbols that stay live *)
+    let k = d.Dfa.alpha_size in
+    let choices q =
+      List.filter
+        (fun s -> Bitvec.mem live (Dfa.step d q s))
+        (List.init k Fun.id)
+    in
+    let rec walk q acc len =
+      let stop_ok = d.Dfa.finals.(q) in
+      if len >= max_len then if stop_ok then Some (List.rev acc) else None
+      else if stop_ok && Random.State.int rng (max_len - len + 1) = 0 then
+        Some (List.rev acc)
+      else
+        match choices q with
+        | [] -> if stop_ok then Some (List.rev acc) else None
+        | cs ->
+            let s = List.nth cs (Random.State.int rng (List.length cs)) in
+            walk (Dfa.step d q s) (s :: acc) (len + 1)
+    in
+    (* retry a few times: a walk can strand in a live loop with no final
+       reachable within budget *)
+    let rec attempt n =
+      if n = 0 then
+        (* fall back to the shortest word *)
+        shortest a
+      else
+        match walk d.Dfa.start [] 0 with
+        | Some l -> Some (Word.of_list l)
+        | None -> attempt (n - 1)
+    in
+    attempt 8
+  end

@@ -1,0 +1,118 @@
+let lcs (a : Word.t) (b : Word.t) : Word.t =
+  let n = Array.length a and m = Array.length b in
+  (* dp.(i).(j) = LCS length of a[i..], b[j..] *)
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      dp.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  let buf = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    if a.(!i) = b.(!j) && dp.(!i).(!j) = 1 + dp.(!i + 1).(!j + 1) then begin
+      buf := a.(!i) :: !buf;
+      incr i;
+      incr j
+    end
+    else if dp.(!i + 1).(!j) >= dp.(!i).(!j + 1) then incr i
+    else incr j
+  done;
+  Word.of_list (List.rev !buf)
+
+let lcs_many = function
+  | [] -> Word.empty
+  | w :: rest -> List.fold_left lcs w rest
+
+let lcs_many_guided words =
+  match words with
+  | [] -> Word.empty
+  | [ w ] -> w
+  | _ ->
+      (* seed with the most similar pair *)
+      let arr = Array.of_list words in
+      let n = Array.length arr in
+      let best = ref (0, 1, -1) in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let len = Array.length (lcs arr.(i) arr.(j)) in
+          let _, _, b = !best in
+          if len > b then best := (i, j, len)
+        done
+      done;
+      let i0, j0, _ = !best in
+      let skeleton = ref (lcs arr.(i0) arr.(j0)) in
+      let remaining =
+        List.filteri (fun k _ -> k <> i0 && k <> j0) (Array.to_list arr)
+      in
+      let rec fold remaining =
+        match remaining with
+        | [] -> ()
+        | _ ->
+            (* fold in the word most similar to the current skeleton *)
+            let scored =
+              List.map (fun w -> (Array.length (lcs !skeleton w), w)) remaining
+            in
+            let best_len, best_w =
+              List.fold_left
+                (fun (bl, bw) (l, w) -> if l > bl then (l, w) else (bl, bw))
+                (List.hd scored) (List.tl scored)
+            in
+            ignore best_len;
+            skeleton := lcs !skeleton best_w;
+            fold (List.filter (fun w -> not (Word.equal w best_w)) remaining)
+      in
+      fold remaining;
+      !skeleton
+
+let carve (w : Word.t) (c : Word.t) : Word.t list option =
+  let n = Array.length w and k = Array.length c in
+  let gaps = ref [] in
+  let rec go i j gap_start =
+    if j = k then begin
+      gaps := Word.sub w gap_start (n - gap_start) :: !gaps;
+      Some (List.rev !gaps)
+    end
+    else if i = n then None
+    else if w.(i) = c.(j) then begin
+      gaps := Word.sub w gap_start (i - gap_start) :: !gaps;
+      go (i + 1) (j + 1) (i + 1)
+    end
+    else go (i + 1) j gap_start
+  in
+  go 0 0 0
+
+let common_suffix = function
+  | [] -> Word.empty
+  | w :: rest ->
+      let len =
+        List.fold_left
+          (fun len v ->
+            let nv = Array.length v and nw = Array.length w in
+            let rec ext k =
+              if k >= len || k >= nv || k >= nw then k
+              else if v.(nv - 1 - k) = w.(nw - 1 - k) then ext (k + 1)
+              else k
+            in
+            ext 0)
+          (Array.length w) rest
+      in
+      Word.sub w (Array.length w - len) len
+
+let common_prefix = function
+  | [] -> Word.empty
+  | w :: rest ->
+      let len =
+        List.fold_left
+          (fun len v ->
+            let rec ext k =
+              if k >= len || k >= Array.length v || k >= Array.length w then k
+              else if v.(k) = w.(k) then ext (k + 1)
+              else k
+            in
+            ext 0)
+          (Array.length w) rest
+      in
+      Word.sub w 0 len

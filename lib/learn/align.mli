@@ -1,0 +1,28 @@
+(** Sequence alignment primitives for the merging heuristic. *)
+
+val lcs : Word.t -> Word.t -> Word.t
+(** A longest common subsequence (classic O(nm) DP; ties broken toward
+    earlier matches in the first word). *)
+
+val lcs_many : Word.t list -> Word.t
+(** Progressive LCS over a list ([lcs_many [] = ε]).  Note this computes
+    {e a} common subsequence of all words, not necessarily a longest one
+    (multi-sequence LCS is NP-hard); good enough as the paper's
+    "sequence of tags common to the strings". *)
+
+val lcs_many_guided : Word.t list -> Word.t
+(** Progressive LCS with a similarity guide order: start from the most
+    similar pair and fold in the remaining words by decreasing LCS
+    length against the current skeleton.  Still only a common
+    subsequence, but less sensitive to a degenerate first sample than
+    {!lcs_many}'s input order. *)
+
+val carve : Word.t -> Word.t -> Word.t list option
+(** [carve w c]: match common subsequence [c] against [w] greedily left
+    to right (earliest occurrences) and return the [|c|+1] gap segments
+    around the matched symbols; [None] if [c] is not a subsequence. *)
+
+val common_suffix : Word.t list -> Word.t
+(** Longest common suffix of all words. *)
+
+val common_prefix : Word.t list -> Word.t

@@ -1,0 +1,62 @@
+type outcome =
+  | Disambiguated of Extraction.t * int
+  | Already_unambiguous
+  | Gave_up
+
+let run (e : Extraction.t) (examples : (Word.t * int) list) =
+  let alpha = e.Extraction.alpha in
+  List.iter
+    (fun (w, i) ->
+      if i < 0 || i >= Array.length w || w.(i) <> e.Extraction.mark then
+        invalid_arg "Disambiguate.run: example does not mark the symbol")
+    examples;
+  if Ambiguity.is_unambiguous e then Already_unambiguous
+  else begin
+    let prefixes = List.map (fun (w, i) -> Word.sub w 0 i) examples in
+    let common = Align.common_suffix prefixes in
+    let max_k = Array.length common in
+    let extracts_all e' =
+      List.for_all
+        (fun (w, i) ->
+          match Extraction.extract e' w with `Unique j -> j = i | _ -> false)
+        examples
+    in
+    let candidates_for k =
+      let ctx = Word.sub common (max_k - k) k in
+      let ends_with_ctx = Regex.cat Regex.sigma_star (Regex.word ctx) in
+      (* Plain context: the mark must be preceded by ctx. *)
+      let plain = Regex.inter e.Extraction.left ends_with_ctx in
+      (* First-match context: additionally, no earlier ctx·p occurrence —
+         the prefix language {α ∈ Σ*·ctx | ctx·p occurs in α·p only at
+         the end}, which is unambiguous against any right side because a
+         second split would put a ctx·p occurrence strictly inside. *)
+      let earlier =
+        Regex.cat_list
+          [
+            Regex.sigma_star;
+            Regex.word ctx;
+            Regex.sym e.Extraction.mark;
+            Regex.sigma_star;
+          ]
+      in
+      let first_match =
+        Regex.inter plain (Regex.compl earlier)
+      in
+      [ plain; first_match ]
+    in
+    let rec try_k k =
+      if k > max_k then Gave_up
+      else
+        let attempt left' =
+          let e' =
+            Extraction.make alpha left' e.Extraction.mark e.Extraction.right
+          in
+          if Ambiguity.is_unambiguous e' && extracts_all e' then Some e'
+          else None
+        in
+        match List.find_map attempt (candidates_for k) with
+        | Some e' -> Disambiguated (e', k)
+        | None -> try_k (k + 1)
+    in
+    try_k 1
+  end

@@ -1,0 +1,23 @@
+(** Counterexample-guided disambiguation (the §8 "future work"
+    procedure, instantiated).
+
+    When a learned expression [E1⟨p⟩E2] is ambiguous, the paper proposes
+    feeding it to a disambiguation procedure together with
+    counterexamples.  This implementation specializes the left side by
+    intersecting it with a growing required left context
+    [Σ*·ℓ_k] (where [ℓ_k] is the length-[k] common left context of the
+    marked positions in the examples), until the expression becomes
+    unambiguous while still extracting every example correctly.  Two
+    specializations are tried per context length: the plain context
+    intersection, and a "first-match" variant that additionally forbids
+    earlier context-preceded marks (which is unambiguous against any
+    right side). *)
+
+type outcome =
+  | Disambiguated of Extraction.t * int  (** result and context length used *)
+  | Already_unambiguous
+  | Gave_up  (** no context length up to the examples' bound works *)
+
+val run : Extraction.t -> (Word.t * int) list -> outcome
+(** [(word, intended position)] examples.  @raise Invalid_argument on an
+    example whose position does not carry the marked symbol. *)

@@ -1,0 +1,72 @@
+type t = { alpha : Alphabet.t; left : Word.t; mark : int; right : Word.t }
+type error = No_samples | Mark_symbol_differs
+
+let pp_error ppf = function
+  | No_samples -> Format.pp_print_string ppf "no samples"
+  | Mark_symbol_differs ->
+      Format.pp_print_string ppf "samples mark different symbols"
+
+let learn alpha (samples : Merge.sample list) =
+  match samples with
+  | [] -> Error No_samples
+  | s :: rest ->
+      let mark = s.Merge.word.(s.Merge.mark_pos) in
+      if
+        not
+          (List.for_all
+             (fun s' -> s'.Merge.word.(s'.Merge.mark_pos) = mark)
+             rest)
+      then Error Mark_symbol_differs
+      else
+        let prefixes =
+          List.map
+            (fun s -> Word.sub s.Merge.word 0 s.Merge.mark_pos)
+            samples
+        in
+        let suffixes =
+          List.map
+            (fun s ->
+              Word.sub s.Merge.word
+                (s.Merge.mark_pos + 1)
+                (Array.length s.Merge.word - s.Merge.mark_pos - 1))
+            samples
+        in
+        Ok
+          {
+            alpha;
+            left = Align.common_suffix prefixes;
+            mark;
+            right = Align.common_prefix suffixes;
+          }
+
+let matches_at (w : Word.t) (pat : Word.t) (pos : int) =
+  pos >= 0
+  && pos + Array.length pat <= Array.length w
+  && (let ok = ref true in
+      Array.iteri (fun k c -> if w.(pos + k) <> c then ok := false) pat;
+      !ok)
+
+let extract t w =
+  let n = Array.length w in
+  let ln = Array.length t.left in
+  let rec scan i =
+    if i >= n then None
+    else if
+      w.(i) = t.mark
+      && matches_at w t.left (i - ln)
+      && matches_at w t.right (i + 1)
+    then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let to_extraction t =
+  Extraction.make t.alpha
+    (Regex.cat Regex.sigma_star (Regex.word t.left))
+    t.mark
+    (Regex.cat (Regex.word t.right) Regex.sigma_star)
+
+let pp ppf t =
+  Format.fprintf ppf "LR[%a ⟨%s⟩ %a]" (Word.pp t.alpha) t.left
+    (Alphabet.name t.alpha t.mark)
+    (Word.pp t.alpha) t.right

@@ -1,0 +1,31 @@
+(** Kushmerick-style LR wrapper baseline.
+
+    The wrapper-induction line the paper cites ([18, 21]) locates a
+    target by a fixed {e left delimiter} (the longest tag context
+    immediately preceding the target common to all samples) and a fixed
+    {e right delimiter}.  Extraction scans for the first occurrence of
+    [ℓ · p · r].  This is the baseline the resilience experiment (E6)
+    compares against: it is brittle exactly where maximized extraction
+    expressions are robust, because any insertion inside its delimiter
+    window breaks it.
+
+    An LR wrapper is also expressible as the (usually non-maximal,
+    sometimes ambiguous) extraction expression [Σ*·ℓ ⟨p⟩ r·Σ*]; see
+    {!to_extraction}. *)
+
+type t = { alpha : Alphabet.t; left : Word.t; mark : int; right : Word.t }
+
+type error = No_samples | Mark_symbol_differs
+
+val pp_error : Format.formatter -> error -> unit
+
+val learn : Alphabet.t -> Merge.sample list -> (t, error) result
+(** Delimiters = longest common suffix of pre-mark prefixes / longest
+    common prefix of post-mark suffixes. *)
+
+val extract : t -> Word.t -> int option
+(** First position whose context matches [ℓ…⟨p⟩…r]. *)
+
+val to_extraction : t -> Extraction.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+type sample = { word : Word.t; mark_pos : int }
+
+let sample word mark_pos =
+  if mark_pos < 0 || mark_pos >= Array.length word then
+    invalid_arg "Merge.sample: mark position out of range";
+  { word; mark_pos }
+
+type error = No_samples | Mark_symbol_differs
+
+let pp_error ppf = function
+  | No_samples -> Format.pp_print_string ppf "no samples"
+  | Mark_symbol_differs ->
+      Format.pp_print_string ppf "samples mark different symbols"
+
+let prefix_of s = Word.sub s.word 0 s.mark_pos
+
+let suffix_of s =
+  Word.sub s.word (s.mark_pos + 1) (Array.length s.word - s.mark_pos - 1)
+
+(* Union of gap segments as a regex: the | of the words, with ? when one
+   of them is empty. *)
+let gap_regex (gaps : Word.t list) : Regex.t =
+  let distinct = List.sort_uniq Word.compare gaps in
+  let has_empty = List.exists (fun g -> Array.length g = 0) distinct in
+  let nonempty = List.filter (fun g -> Array.length g > 0) distinct in
+  match (nonempty, has_empty) with
+  | [], _ -> Regex.eps
+  | ws, false -> Regex.alt_list (List.map Regex.word ws)
+  | ws, true -> Regex.opt (Regex.alt_list (List.map Regex.word ws))
+
+(* Align the marked prefixes: common tag skeleton + per-sample gaps. *)
+let aligned_prefix samples =
+  let prefixes = List.map prefix_of samples in
+  let skeleton = Align.lcs_many_guided prefixes in
+  let gap_rows =
+    List.map
+      (fun p ->
+        match Align.carve p skeleton with
+        | Some gaps -> gaps
+        | None -> invalid_arg "Merge: skeleton is not a common subsequence")
+      prefixes
+  in
+  (* transpose: k+1 columns of gaps *)
+  let k = Array.length skeleton in
+  let columns =
+    List.init (k + 1) (fun i -> List.map (fun row -> List.nth row i) gap_rows)
+  in
+  (List.map gap_regex columns, Word.to_list skeleton)
+
+let check samples =
+  match samples with
+  | [] -> Error No_samples
+  | s :: rest ->
+      let mark = s.word.(s.mark_pos) in
+      if List.for_all (fun s' -> s'.word.(s'.mark_pos) = mark) rest then
+        Ok mark
+      else Error Mark_symbol_differs
+
+let template_decomposition alpha samples =
+  ignore alpha;
+  match check samples with
+  | Error e -> Error e
+  | Ok mark ->
+      let segments, pivots = aligned_prefix samples in
+      Ok ({ Pivot.segments; pivots }, mark)
+
+let merge ?(generalize_suffix = true) alpha samples =
+  match check samples with
+  | Error e -> Error e
+  | Ok mark ->
+      let segments, pivots = aligned_prefix samples in
+      let left = Pivot.recompose { Pivot.segments; pivots } in
+      let right =
+        if generalize_suffix then Regex.sigma_star
+        else
+          let suffixes = List.map suffix_of samples in
+          let segs, pivs =
+            let skeleton = Align.lcs_many_guided suffixes in
+            let rows =
+              List.map
+                (fun s ->
+                  match Align.carve s skeleton with
+                  | Some gaps -> gaps
+                  | None -> invalid_arg "Merge: suffix skeleton")
+                suffixes
+            in
+            let k = Array.length skeleton in
+            let cols =
+              List.init (k + 1) (fun i ->
+                  List.map (fun row -> List.nth row i) rows)
+            in
+            (List.map gap_regex cols, Word.to_list skeleton)
+          in
+          Pivot.recompose { Pivot.segments = segs; pivots = pivs }
+      in
+      Ok (Extraction.make alpha left mark right)

@@ -1,0 +1,31 @@
+(** Concrete syntax for extended regular expressions.
+
+    Grammar (loosest to tightest binding):
+
+    {v
+      expr    ::= diff ('|' diff)*                 union
+      diff    ::= inter ('-' inter)*               left-assoc difference
+      inter   ::= cat ('&' cat)*                   intersection
+      cat     ::= postfix+                         juxtaposition = concat
+      postfix ::= atom ('*' | '+' | '?' | '{' n (',' n?)? '}')*
+      atom    ::= IDENT            a symbol (must be in the alphabet)
+                | '.'              any symbol (Σ as a one-symbol class)
+                | '@'              epsilon
+                | '!'              the empty language
+                | '~' atom         complement
+                | '[' IDENT* ']'   symbol class
+                | '[^' IDENT* ']'  negated symbol class
+                | '(' expr ')'
+    v}
+
+    Identifiers are runs of [A-Za-z0-9_/:='] (so HTML closing tags such as
+    [/FORM] are single tokens).  Whitespace separates tokens and is
+    otherwise ignored. *)
+
+exception Parse_error of string * int
+(** Message and byte offset of the error. *)
+
+val parse : Alphabet.t -> string -> Regex.t
+(** @raise Parse_error on syntax errors or unknown symbols. *)
+
+val parse_result : Alphabet.t -> string -> (Regex.t, string) result

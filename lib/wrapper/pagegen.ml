@@ -1,0 +1,179 @@
+type profile = {
+  header_blocks : int;
+  nav_rows : int;
+  embed_form : bool;
+  inputs_before_target : int;
+  inputs_after_target : int;
+  product_rows : int;
+  trailing_forms : int;
+}
+
+let default_profile =
+  {
+    header_blocks = 1;
+    nav_rows = 0;
+    embed_form = false;
+    inputs_before_target = 1;
+    inputs_after_target = 2;
+    product_rows = 0;
+    trailing_forms = 0;
+  }
+
+let random_profile rng =
+  {
+    header_blocks = Random.State.int rng 3;
+    nav_rows = Random.State.int rng 4;
+    embed_form = Random.State.bool rng;
+    inputs_before_target = 1 + Random.State.int rng 2;
+    inputs_after_target = Random.State.int rng 3;
+    product_rows = Random.State.int rng 5;
+    trailing_forms = Random.State.int rng 2;
+  }
+
+let el = Html_tree.element
+let txt = Html_tree.text
+
+let input ?(target = false) kind =
+  el
+    ~attrs:
+      ((if target then [ ("data-target", Some "1") ] else [])
+      @ [ ("type", Some kind) ])
+    "INPUT" []
+
+(* Figure 1, verbatim HTML (the target text INPUT carries data-target so
+   the ground truth survives parsing and perturbation). *)
+let figure1_top () =
+  Html_tree.parse
+    {|<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" data-target="1" />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>
+</p>|}
+
+let figure1_bottom () =
+  Html_tree.parse
+    {|<table>
+<tr><th><img src="supplier.gif"></th></tr>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" data-target="1" />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>|}
+
+let header_block rng i =
+  match (i + Random.State.int rng 3) mod 3 with
+  | 0 -> el "H1" [ txt "Virtual Supplier, Inc." ]
+  | 1 -> el "IMG" ~attrs:[ ("src", Some "banner.gif") ] []
+  | _ -> el "P" [ el "A" ~attrs:[ ("href", Some "home.html") ] [ txt "Home" ] ]
+
+let nav_row _rng i =
+  el "TR"
+    [
+      el "TD"
+        [
+          el "A"
+            ~attrs:[ ("href", Some (Printf.sprintf "nav%d.html" i)) ]
+            [ txt (Printf.sprintf "Section %d" i) ];
+        ];
+    ]
+
+let product_row _rng i =
+  el "TR"
+    [
+      el "TD" [ txt (Printf.sprintf "Part #%04d" i) ];
+      el "TD" [ txt "$9.99" ];
+    ]
+
+let search_form ~target rng profile =
+  ignore rng;
+  el "FORM"
+    ~attrs:[ ("method", Some "post"); ("action", Some "search.cgi") ]
+    (List.init profile.inputs_before_target (fun _ -> input "image")
+    @ [ (if target then input ~target:true "text" else input "text") ]
+    @ List.init profile.inputs_after_target (fun _ -> input "radio")
+    @ [ el "BR" [] ])
+
+let generate rng profile =
+  let header = List.init profile.header_blocks (header_block rng) in
+  let nav =
+    if profile.nav_rows = 0 then []
+    else [ el "TABLE" (List.init profile.nav_rows (nav_row rng)) ]
+  in
+  let form = search_form ~target:true rng profile in
+  let form_section =
+    if profile.embed_form then
+      [ el "TABLE" [ el "TR" [ el "TD" [ form ] ] ] ]
+    else [ form ]
+  in
+  let products =
+    if profile.product_rows = 0 then []
+    else [ el "TABLE" (List.init profile.product_rows (product_row rng)) ]
+  in
+  let trailing =
+    List.init profile.trailing_forms (fun _ ->
+        search_form ~target:false rng
+          { profile with inputs_before_target = 1; inputs_after_target = 1 })
+  in
+  header @ nav @ form_section @ products @ trailing
+
+let target_path doc =
+  let hits =
+    Html_tree.find_all
+      (function
+        | Html_tree.Element { attrs; _ } ->
+            List.exists
+              (fun a -> a.Html_token.name = "data-target")
+              attrs
+        | Html_tree.Text _ | Html_tree.Comment _ -> false)
+      doc
+  in
+  match hits with (path, _) :: _ -> Some path | [] -> None
+
+let standard_tags =
+  [
+    "A"; "B"; "BR"; "CENTER"; "DIV"; "FONT"; "FORM"; "H1"; "H2"; "HR"; "I";
+    "IMG"; "INPUT"; "LI"; "P"; "SELECT"; "OPTION"; "SPAN"; "TABLE"; "TD";
+    "TH"; "TR"; "UL";
+  ]
+
+(* Attribute values the generator and perturbations can produce, per
+   refinable (element, attribute) pair — needed to keep refined
+   alphabets closed. *)
+let known_attr_values =
+  [
+    ( "INPUT",
+      "type",
+      [ "text"; "image"; "radio"; "checkbox"; "submit"; "hidden"; "password" ]
+    );
+  ]
+
+let refined_symbols abs =
+  match abs with
+  | Abstraction.Tags -> []
+  | Abstraction.Tags_with_attrs specs ->
+      List.concat_map
+        (fun (el, attr) ->
+          match
+            List.find_opt
+              (fun (e, a, _) ->
+                String.uppercase_ascii e = String.uppercase_ascii el
+                && a = attr)
+              known_attr_values
+          with
+          | Some (_, _, values) ->
+              List.map
+                (fun v ->
+                  Printf.sprintf "%s:%s=%s" (String.uppercase_ascii el) attr v)
+                values
+          | None -> [])
+        specs

@@ -1,0 +1,49 @@
+(** Synthetic shopbot catalog pages — the §3 "Virtual Supplier" domain.
+
+    The paper's motivating workload is a vendor catalog page containing a
+    search form; the object of interest is an [INPUT] element of the
+    first form (the text field the robot must fill).  Real pages and the
+    authors' harvesting system are unavailable, so this generator
+    produces structurally equivalent pages: optional header material,
+    optional navigation table, the search form (optionally embedded in a
+    layout table, as in the bottom half of Figure 1), product rows, and
+    footer junk — each knob randomized from a seeded PRNG.
+
+    The target [INPUT] carries the attribute [data-target="1"] so that
+    perturbations can be applied freely and the ground-truth node
+    recovered afterwards. *)
+
+type profile = {
+  header_blocks : int;  (** 0–3 H1/IMG/A header fragments *)
+  nav_rows : int;  (** rows in a navigation table, 0 = no table *)
+  embed_form : bool;  (** wrap the form in TABLE/TR/TD (Figure 1 bottom) *)
+  inputs_before_target : int;  (** INPUTs in the form before the target *)
+  inputs_after_target : int;
+  product_rows : int;  (** result rows after the form *)
+  trailing_forms : int;  (** decoy forms after the target's form *)
+}
+
+val default_profile : profile
+val random_profile : Random.State.t -> profile
+
+val figure1_top : unit -> Html_tree.doc
+(** The top page of Figure 1, verbatim (target = 2nd INPUT of the form). *)
+
+val figure1_bottom : unit -> Html_tree.doc
+(** The rearranged page of Figure 1. *)
+
+val generate : Random.State.t -> profile -> Html_tree.doc
+(** A page realizing the profile; exactly one node carries
+    [data-target]. *)
+
+val target_path : Html_tree.doc -> Html_tree.path option
+(** The path of the [data-target] node. *)
+
+val standard_tags : string list
+(** Tag vocabulary all generated/perturbed pages draw from; use it to
+    build a closed alphabet up front. *)
+
+val refined_symbols : Abstraction.t -> string list
+(** The refined symbols ([INPUT:type=text], …) generated pages can emit
+    under the given abstraction — the closure companion to
+    {!standard_tags}. *)

@@ -1,0 +1,155 @@
+type op =
+  | Insert_header_junk
+  | Insert_nav_row
+  | Insert_after_target
+  | Delete_optional
+  | Embed_in_table
+  | Embed_in_div
+  | Append_decoy_form
+
+let all_ops =
+  [
+    Insert_header_junk; Insert_nav_row; Insert_after_target; Delete_optional;
+    Embed_in_table; Embed_in_div; Append_decoy_form;
+  ]
+
+let op_name = function
+  | Insert_header_junk -> "insert-header-junk"
+  | Insert_nav_row -> "insert-nav-row"
+  | Insert_after_target -> "insert-after-target"
+  | Delete_optional -> "delete-optional"
+  | Embed_in_table -> "embed-in-table"
+  | Embed_in_div -> "embed-in-div"
+  | Append_decoy_form -> "append-decoy-form"
+
+let el = Html_tree.element
+let txt = Html_tree.text
+
+let rec node_mentions names nd =
+  match nd with
+  | Html_tree.Element { name; children; _ } ->
+      List.mem name names || List.exists (node_mentions names) children
+  | Html_tree.Text _ | Html_tree.Comment _ -> false
+
+let sensitive = [ "FORM"; "INPUT" ]
+
+let junk_fragment rng =
+  match Random.State.int rng 5 with
+  | 0 -> el "P" [ txt "Special offers this week!" ]
+  | 1 -> el "IMG" ~attrs:[ ("src", Some "promo.gif") ] []
+  | 2 -> el "A" ~attrs:[ ("href", Some "deals.html") ] [ txt "Deals" ]
+  | 3 -> el "HR" []
+  | _ -> el "DIV" [ el "B" [ txt "New" ]; txt " catalog update" ]
+
+let target_head doc =
+  match Pagegen.target_path doc with
+  | Some (i :: _) -> Some i
+  | Some [] | None -> None
+
+let apply_op rng op doc =
+  match target_head doc with
+  | None -> None
+  | Some head -> (
+      match op with
+      | Insert_header_junk ->
+          let pos = Random.State.int rng (head + 1) in
+          Html_tree.insert_at doc [ pos ] (junk_fragment rng)
+      | Insert_nav_row ->
+          let row =
+            el "TR"
+              [ el "TD" [ el "A" ~attrs:[ ("href", Some "x.html") ] [ txt "X" ] ] ]
+          in
+          (* A leading FORM/INPUT-free table gets an extra row; otherwise a
+             fresh one-row nav table is inserted before the target. *)
+          let tables =
+            Html_tree.find_elements "TABLE" doc
+            |> List.filter (fun (path, nd) ->
+                   (match path with i :: _ -> i < head | [] -> false)
+                   && not (node_mentions sensitive nd))
+          in
+          (match tables with
+          | (path, _) :: _ -> Html_tree.insert_at doc (path @ [ 0 ]) row
+          | [] ->
+              Html_tree.insert_at doc
+                [ Random.State.int rng (head + 1) ]
+                (el "TABLE" [ row ]))
+      | Insert_after_target ->
+          let n = List.length doc in
+          let pos = head + 1 + Random.State.int rng (n - head) in
+          Html_tree.insert_at doc [ pos ] (junk_fragment rng)
+      | Delete_optional -> (
+          let target = Pagegen.target_path doc in
+          let is_prefix pre path =
+            let rec go a b =
+              match (a, b) with
+              | [], _ -> true
+              | x :: a', y :: b' -> x = y && go a' b'
+              | _ -> false
+            in
+            go pre path
+          in
+          let candidates =
+            Html_tree.find_all (fun _ -> true) doc
+            |> List.filter (fun (path, nd) ->
+                   (match target with
+                   | Some t -> not (is_prefix path t)
+                   | None -> true)
+                   && not (node_mentions sensitive nd))
+          in
+          match candidates with
+          | [] -> None
+          | _ ->
+              let path, _ =
+                List.nth candidates (Random.State.int rng (List.length candidates))
+              in
+              Html_tree.replace_at doc path (fun _ -> []))
+      | Embed_in_table ->
+          Html_tree.replace_at doc [ head ] (fun nd ->
+              [ el "TABLE" [ el "TR" [ el "TD" [ nd ] ] ] ])
+      | Embed_in_div ->
+          Html_tree.replace_at doc [ head ] (fun nd -> [ el "DIV" [ nd ] ])
+      | Append_decoy_form ->
+          let decoy =
+            el "FORM"
+              ~attrs:[ ("action", Some "other.cgi") ]
+              [
+                el ~attrs:[ ("type", Some "image") ] "INPUT" [];
+                el ~attrs:[ ("type", Some "text") ] "INPUT" [];
+              ]
+          in
+          Html_tree.insert_at doc [ List.length doc ] decoy)
+
+let perturb rng ~intensity doc =
+  if Pagegen.target_path doc = None then
+    invalid_arg "Perturb.perturb: document has no data-target node";
+  let rec step doc k budget =
+    if k = 0 || budget = 0 then doc
+    else
+      let op = List.nth all_ops (Random.State.int rng (List.length all_ops)) in
+      match apply_op rng op doc with
+      | Some doc' -> step doc' (k - 1) (budget - 1)
+      | None -> step doc k (budget - 1)
+  in
+  step doc intensity (20 * intensity)
+
+let figure1_rearrangement doc =
+  match target_head doc with
+  | None -> doc
+  | Some head ->
+      let form_section = List.nth doc head in
+      [
+        el "TABLE"
+          [
+            el "TR" [ el "TH" [ el "IMG" ~attrs:[ ("src", Some "supplier.gif") ] [] ] ];
+            el "TR" [ el "TD" [ el "H1" [ txt "Virtual Supplier, Inc." ] ] ];
+            el "TR"
+              [
+                el "TD"
+                  [
+                    el "A" ~attrs:[ ("href", Some "cust.html") ]
+                      [ txt "Customer Service" ];
+                  ];
+              ];
+            el "TR" [ el "TD" [ form_section ] ];
+          ];
+      ]

@@ -1,0 +1,38 @@
+(** Document perturbation models — §3's taxonomy of page changes.
+
+    "The most typical changes are insertion or deletion of HTML elements
+    before or after the object of interest and embedding of the object
+    inside some other HTML element."  Each operation transforms a
+    document while {e preserving the ground truth}: the [data-target]
+    node survives, and no [FORM]/[INPUT] material is inserted or removed
+    {e before} the target (which would legitimately change which node
+    the learned concept denotes).
+
+    Operations are drawn from a seeded PRNG, so experiment runs are
+    reproducible. *)
+
+type op =
+  | Insert_header_junk  (** a P/IMG/A/HR/BR fragment before the target *)
+  | Insert_nav_row  (** an extra row in (or a whole new) leading table *)
+  | Insert_after_target  (** arbitrary material after the target *)
+  | Delete_optional  (** remove a FORM/INPUT-free node before the target *)
+  | Embed_in_table  (** wrap the target's topmost section in TABLE/TR/TD *)
+  | Embed_in_div
+  | Append_decoy_form  (** a second form after the target's form *)
+
+val all_ops : op list
+val op_name : op -> string
+
+val apply_op : Random.State.t -> op -> Html_tree.doc -> Html_tree.doc option
+(** [None] when the operation is not applicable (e.g. nothing deletable);
+    the document is returned unchanged in no case — inapplicable ops
+    must be retried with another op. *)
+
+val perturb : Random.State.t -> intensity:int -> Html_tree.doc -> Html_tree.doc
+(** Apply [intensity] randomly chosen applicable operations in sequence.
+    @raise Invalid_argument if the document has no [data-target] node. *)
+
+val figure1_rearrangement : Html_tree.doc -> Html_tree.doc
+(** The deterministic §3 redesign: embed everything in a table with a
+    header-image row and a customer-service row — turns (a page shaped
+    like) Figure 1 top into Figure 1 bottom's layout. *)

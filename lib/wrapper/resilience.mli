@@ -1,0 +1,42 @@
+(** The resilience experiment (E6): does maximization actually buy
+    robustness to page changes?
+
+    Protocol, per trial: generate a random catalog page; produce two
+    training variants (the base page and a lightly perturbed copy, as if
+    the form had been filled out twice — §3's learning stage); learn
+    four extractors from the same two samples:
+
+    - {e rigid}: the sample-1 tag sequence as a literal expression
+      (no generalization at all);
+    - {e merged}: the §7 merge heuristic output, un-maximized;
+    - {e maximized}: merge + §6 maximization (the paper's proposal);
+    - {e LR}: the Kushmerick-style delimiter baseline;
+
+    then perturb the page with [intensity] random §3-taxonomy edits and
+    check whether each extractor still finds the ground-truth node.
+    Success rates as a function of intensity are the paper's implicit
+    "resilience" claim, quantified. *)
+
+type counts = {
+  trials : int;
+  rigid : int;
+  merged : int;
+  maximized : int;
+  lr : int;
+  learn_failures : int;
+      (** trials discarded because learning itself failed *)
+}
+
+type row = { intensity : int; counts : counts }
+
+val evaluate :
+  ?abs:Abstraction.t ->
+  ?train_perturbation:int ->
+  seed:int ->
+  trials:int ->
+  intensities:int list ->
+  unit ->
+  row list
+
+val pp_table : Format.formatter -> row list -> unit
+(** Render as the EXPERIMENTS.md table. *)

@@ -1,0 +1,127 @@
+type t = {
+  alpha : Alphabet.t;
+  abs : Abstraction.t;
+  expr : Extraction.t;
+  matcher : Extraction.matcher;
+  strategy : Synthesis.strategy option;
+}
+
+type learn_error =
+  | Merge_failed of Merge.error
+  | Ambiguous_merge of Word.t option
+  | Maximization_failed of Synthesis.failure
+
+let pp_learn_error ppf = function
+  | Merge_failed e -> Format.fprintf ppf "merge failed: %a" Merge.pp_error e
+  | Ambiguous_merge _ ->
+      Format.pp_print_string ppf
+        "merged expression is ambiguous (even after disambiguation)"
+  | Maximization_failed _ ->
+      Format.pp_print_string ppf "maximization failed"
+
+module SS = Set.Make (String)
+
+let alphabet_for ?(abs = Abstraction.Tags) docs =
+  let standard =
+    List.concat_map
+      (fun n -> if Html_tree.is_void n then [ n ] else [ n; "/" ^ n ])
+      Pagegen.standard_tags
+    @ Pagegen.refined_symbols abs
+  in
+  let symbols =
+    List.fold_left
+      (fun acc d -> SS.union acc (SS.of_list (Tag_seq.tag_names ~abs d)))
+      (SS.of_list standard) docs
+  in
+  Alphabet.make (SS.elements symbols)
+
+let learn ?(maximize = true) ?(abs = Abstraction.Tags) ?alpha samples =
+  let docs = List.map fst samples in
+  let alpha = match alpha with Some a -> a | None -> alphabet_for ~abs docs in
+  let marked =
+    List.map
+      (fun (doc, path) ->
+        match Tag_seq.mark_of_path ~abs alpha doc path with
+        | Some (word, i) -> Merge.sample word i
+        | None -> invalid_arg "Wrapper.learn: target path does not address an element")
+      samples
+  in
+  match Merge.merge alpha marked with
+  | Error e -> Error (Merge_failed e)
+  | Ok merged -> (
+      (* Disambiguate against the samples if the merge came out ambiguous. *)
+      let examples =
+        List.map (fun s -> (s.Merge.word, s.Merge.mark_pos)) marked
+      in
+      let merged =
+        if Ambiguity.is_unambiguous merged then Ok merged
+        else
+          match Disambiguate.run merged examples with
+          | Disambiguate.Disambiguated (e, _) -> Ok e
+          | Disambiguate.Already_unambiguous -> Ok merged
+          | Disambiguate.Gave_up ->
+              Error (Ambiguous_merge (Ambiguity.witness merged))
+      in
+      match merged with
+      | Error e -> Error e
+      | Ok merged ->
+          if not maximize then
+            Ok
+              {
+                alpha;
+                abs;
+                expr = merged;
+                matcher = Extraction.compile merged;
+                strategy = None;
+              }
+          else (
+            match Synthesis.maximize merged with
+            | Ok (expr, strategy) ->
+                Ok
+                  {
+                    alpha;
+                    abs;
+                    expr;
+                    matcher = Extraction.compile expr;
+                    strategy = Some strategy;
+                  }
+            | Error f -> Error (Maximization_failed f)))
+
+type extract_error =
+  | No_match
+  | Ambiguous_on_page of int list
+  | Unknown_tag of string
+
+let pp_extract_error ppf = function
+  | No_match -> Format.pp_print_string ppf "no match on page"
+  | Ambiguous_on_page l ->
+      Format.fprintf ppf "ambiguous on page (%d candidate positions)"
+        (List.length l)
+  | Unknown_tag t -> Format.fprintf ppf "page uses unknown tag %s" t
+
+let extract_pos t word =
+  match Extraction.matcher_extract t.matcher word with
+  | `Unique i -> Ok i
+  | `No_match -> Error No_match
+  | `Ambiguous l -> Error (Ambiguous_on_page l)
+
+let extract t doc =
+  match Tag_seq.of_doc_indexed ~abs:t.abs t.alpha doc with
+  | exception Invalid_argument msg ->
+      (* "Tag_seq: tag not in alphabet: X" — X may itself contain ':'
+         under refined abstractions, so split on the known prefix. *)
+      let prefix = "Tag_seq: tag not in alphabet: " in
+      let tag =
+        if String.length msg > String.length prefix
+           && String.sub msg 0 (String.length prefix) = prefix
+        then String.sub msg (String.length prefix)
+               (String.length msg - String.length prefix)
+        else msg
+      in
+      Error (Unknown_tag tag)
+  | word, origins -> (
+      match extract_pos t word with
+      | Error e -> Error e
+      | Ok i -> (
+          match origins.(i) with
+          | Tag_seq.Open_of path | Tag_seq.Close_of path -> Ok path))

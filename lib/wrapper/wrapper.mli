@@ -1,0 +1,50 @@
+(** End-to-end resilient wrappers over HTML documents.
+
+    The full §3/§7 pipeline: marked sample pages → tag-sequence
+    abstraction → left-to-right merge → unambiguity check (with optional
+    counterexample-driven disambiguation) → maximization → compiled
+    extractor that maps a fresh page back to a DOM node. *)
+
+type t = {
+  alpha : Alphabet.t;
+  abs : Abstraction.t;  (** page → token-sequence abstraction level *)
+  expr : Extraction.t;  (** the (possibly maximized) expression *)
+  matcher : Extraction.matcher;
+  strategy : Synthesis.strategy option;
+      (** [None] when learned with [~maximize:false] *)
+}
+
+type learn_error =
+  | Merge_failed of Merge.error
+  | Ambiguous_merge of Word.t option
+  | Maximization_failed of Synthesis.failure
+
+val pp_learn_error : Format.formatter -> learn_error -> unit
+
+val alphabet_for : ?abs:Abstraction.t -> Html_tree.doc list -> Alphabet.t
+(** Symbol alphabet of the given documents under the abstraction,
+    widened with {!Pagegen.standard_tags} (and the matching
+    {!Pagegen.refined_symbols}) so that perturbed pages remain
+    mappable. *)
+
+val learn :
+  ?maximize:bool ->
+  ?abs:Abstraction.t ->
+  ?alpha:Alphabet.t ->
+  (Html_tree.doc * Html_tree.path) list ->
+  (t, learn_error) result
+(** Learn from [(page, target path)] samples.  [maximize] defaults to
+    [true]; [abs] to {!Abstraction.Tags}. *)
+
+type extract_error =
+  | No_match
+  | Ambiguous_on_page of int list
+  | Unknown_tag of string  (** page uses a tag outside the alphabet *)
+
+val pp_extract_error : Format.formatter -> extract_error -> unit
+
+val extract : t -> Html_tree.doc -> (Html_tree.path, extract_error) result
+(** Locate the target node on a fresh page. *)
+
+val extract_pos : t -> Word.t -> (int, extract_error) result
+(** Sequence-level extraction (used by the resilience harness). *)

@@ -1,0 +1,263 @@
+type particle =
+  | Name of string
+  | Choice of particle list
+  | Seq of particle list
+  | Star of particle
+  | Plus of particle
+  | Opt of particle
+
+type content =
+  | Pcdata
+  | Empty_content
+  | Any_content
+  | Children of particle
+  | Mixed of string list
+
+type attr_default = Required | Implied | Fixed of string | Default of string
+type attr_decl = { attr_name : string; attr_default : attr_default }
+
+type element_decl = {
+  el_name : string;
+  el_content : content;
+  el_attrs : attr_decl list;
+}
+
+type t = {
+  decls : element_decl list;
+  index : (string, element_decl) Hashtbl.t;
+  alpha : Alphabet.t;
+}
+
+let normalize = String.uppercase_ascii
+
+let rec particle_names acc = function
+  | Name n -> normalize n :: acc
+  | Choice ps | Seq ps -> List.fold_left particle_names acc ps
+  | Star p | Plus p | Opt p -> particle_names acc p
+
+let make decls =
+  let decls =
+    List.map
+      (fun d ->
+        {
+          d with
+          el_name = normalize d.el_name;
+          el_content =
+            (match d.el_content with
+            | Mixed names -> Mixed (List.map normalize names)
+            | (Pcdata | Empty_content | Any_content | Children _) as c -> c);
+        })
+      decls
+  in
+  let index = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem index d.el_name then
+        invalid_arg ("Dtd.make: duplicate element declaration " ^ d.el_name);
+      Hashtbl.add index d.el_name d)
+    decls;
+  (* Alphabet: declared names plus any names referenced in content. *)
+  let names =
+    List.concat_map
+      (fun d ->
+        d.el_name
+        ::
+        (match d.el_content with
+        | Children p -> particle_names [] p
+        | Mixed ns -> ns
+        | Pcdata | Empty_content | Any_content -> []))
+      decls
+  in
+  let names = List.sort_uniq String.compare names in
+  { decls; index; alpha = Alphabet.make names }
+
+let elements t = t.decls
+let find t name = Hashtbl.find_opt t.index (normalize name)
+let alphabet t = t.alpha
+
+let rec regex_of_particle alpha = function
+  | Name n -> Regex.sym (Alphabet.find_exn alpha (normalize n))
+  | Choice ps -> Regex.alt_list (List.map (regex_of_particle alpha) ps)
+  | Seq ps -> Regex.cat_list (List.map (regex_of_particle alpha) ps)
+  | Star p -> Regex.star (regex_of_particle alpha p)
+  | Plus p -> Regex.plus (regex_of_particle alpha p)
+  | Opt p -> Regex.opt (regex_of_particle alpha p)
+
+let content_lang t name =
+  match find t name with
+  | None -> None
+  | Some d ->
+      Some
+        (match d.el_content with
+        | Pcdata | Empty_content -> Lang.epsilon t.alpha
+        | Any_content -> Lang.sigma_star t.alpha
+        | Mixed names ->
+            Lang.of_regex t.alpha
+              (Regex.star
+                 (Regex.alt_list
+                    (List.map
+                       (fun n -> Regex.sym (Alphabet.find_exn t.alpha n))
+                       names)))
+        | Children p -> Lang.of_regex t.alpha (regex_of_particle t.alpha p))
+
+let rec pp_particle ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Choice ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp_particle)
+        ps
+  | Seq ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_particle)
+        ps
+  | Star p -> Format.fprintf ppf "%a*" pp_particle p
+  | Plus p -> Format.fprintf ppf "%a+" pp_particle p
+  | Opt p -> Format.fprintf ppf "%a?" pp_particle p
+
+let pp_content ppf = function
+  | Pcdata | Mixed [] -> Format.pp_print_string ppf "(#PCDATA)"
+  | Empty_content -> Format.pp_print_string ppf "EMPTY"
+  | Any_content -> Format.pp_print_string ppf "ANY"
+  | Mixed names ->
+      Format.fprintf ppf "(#PCDATA | %s)*" (String.concat " | " names)
+  | Children (Choice _ as p) | Children (Seq _ as p) -> pp_particle ppf p
+  | Children p -> Format.fprintf ppf "(%a)" pp_particle p
+
+(* Pick whichever quote the value does not contain; a value with both
+   kinds of quote is not representable in DTD literal syntax, so its
+   single quotes are dropped to keep the output parseable. *)
+let pp_quoted ppf v =
+  if not (String.contains v '"') then Format.fprintf ppf "\"%s\"" v
+  else if not (String.contains v '\'') then Format.fprintf ppf "'%s'" v
+  else
+    Format.fprintf ppf "'%s'"
+      (String.concat "" (List.filter_map (fun c ->
+           if c = '\'' then None else Some (String.make 1 c))
+           (List.init (String.length v) (String.get v))))
+
+let pp_attr_default ppf = function
+  | Required -> Format.pp_print_string ppf "#REQUIRED"
+  | Implied -> Format.pp_print_string ppf "#IMPLIED"
+  | Fixed v -> Format.fprintf ppf "#FIXED %a" pp_quoted v
+  | Default v -> Format.fprintf ppf "%a" pp_quoted v
+
+let pp ppf t =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "<!ELEMENT %s %a>@." d.el_name pp_content d.el_content;
+      if d.el_attrs <> [] then begin
+        Format.fprintf ppf "<!ATTLIST %s" d.el_name;
+        List.iter
+          (fun a ->
+            Format.fprintf ppf " %s CDATA %a" a.attr_name pp_attr_default
+              a.attr_default)
+          d.el_attrs;
+        Format.fprintf ppf ">@."
+      end)
+    t.decls
+
+let to_string t = Format.asprintf "%a" pp t
+
+type violation = {
+  v_path : Html_tree.path;
+  v_element : string;
+  v_reason : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at /%s: %s" v.v_element
+    (String.concat "/" (List.map string_of_int v.v_path))
+    v.v_reason
+
+let child_elements children =
+  List.filter_map
+    (fun nd ->
+      match nd with
+      | Html_tree.Element { name; _ } -> Some name
+      | Html_tree.Text _ | Html_tree.Comment _ -> None)
+    children
+
+let has_element_child children =
+  List.exists
+    (function
+      | Html_tree.Element _ -> true | Html_tree.Text _ | Html_tree.Comment _ -> false)
+    children
+
+let has_text_child children =
+  List.exists
+    (function
+      | Html_tree.Text _ -> true | Html_tree.Element _ | Html_tree.Comment _ -> false)
+    children
+
+let validate t doc =
+  let violations = ref [] in
+  let report path name reason =
+    violations := { v_path = path; v_element = name; v_reason = reason } :: !violations
+  in
+  Html_tree.fold
+    (fun () path nd ->
+      match nd with
+      | Html_tree.Text _ | Html_tree.Comment _ -> ()
+      | Html_tree.Element { name; attrs; children } -> (
+          match find t name with
+          | None -> report path name "element not declared"
+          | Some decl -> (
+              (* attributes *)
+              List.iter
+                (fun ad ->
+                  let present =
+                    List.find_opt
+                      (fun a -> a.Html_token.name = ad.attr_name)
+                      attrs
+                  in
+                  match (ad.attr_default, present) with
+                  | Required, None ->
+                      report path name
+                        ("missing #REQUIRED attribute " ^ ad.attr_name)
+                  | Fixed v, Some a when a.Html_token.value <> Some v ->
+                      report path name
+                        ("attribute " ^ ad.attr_name ^ " must be fixed to " ^ v)
+                  | (Required | Implied | Fixed _ | Default _), _ -> ())
+                decl.el_attrs;
+              (* content *)
+              match decl.el_content with
+              | Any_content -> ()
+              | Empty_content ->
+                  if children <> [] then report path name "EMPTY element has content"
+              | Pcdata ->
+                  if has_element_child children then
+                    report path name "(#PCDATA) element has element children"
+              | Mixed allowed ->
+                  List.iter
+                    (fun c ->
+                      if not (List.mem (normalize c) allowed) then
+                        report path name
+                          ("child " ^ c ^ " not allowed in mixed content"))
+                    (child_elements children)
+              | Children p -> (
+                  if has_text_child children then
+                    report path name "element content model forbids text";
+                  let names = child_elements children in
+                  match
+                    List.map (Alphabet.find t.alpha) (List.map normalize names)
+                  with
+                  | codes when List.for_all Option.is_some codes ->
+                      let word =
+                        Word.of_list (List.map Option.get codes)
+                      in
+                      let re = regex_of_particle t.alpha p in
+                      if not (Regex.matches re word) then
+                        report path name
+                          (Printf.sprintf
+                             "child sequence [%s] violates content model"
+                             (String.concat " " names))
+                  | _ ->
+                      report path name "child element not in DTD alphabet"))))
+    () doc;
+  List.rev !violations
+
+let is_valid t doc = validate t doc = []

@@ -1,0 +1,81 @@
+(** Document Type Definitions and validation (§8: "using DTDs to guide
+    the learning algorithms").
+
+    A DTD's element content model is itself a regular expression over
+    child element names — so the automata engine built for extraction
+    expressions validates XML for free, and content models can seed
+    extraction-expression synthesis ({!Dtd_guide}).
+
+    Simplifications relative to full XML 1.0: element names are
+    case-normalized to upper case (matching the HTML pipeline), mixed
+    content [(#PCDATA | a | …)*] is modelled as the child elements being
+    unconstrained in order, and attribute declarations are recorded but
+    only [#REQUIRED] presence is enforced. *)
+
+type particle =
+  | Name of string
+  | Choice of particle list  (** (a | b | …) *)
+  | Seq of particle list  (** (a, b, …) *)
+  | Star of particle
+  | Plus of particle
+  | Opt of particle
+
+type content =
+  | Pcdata  (** (#PCDATA) — text only, no element children *)
+  | Empty_content  (** EMPTY *)
+  | Any_content  (** ANY *)
+  | Children of particle
+  | Mixed of string list  (** (#PCDATA | a | b)* — allowed child names *)
+
+type attr_default = Required | Implied | Fixed of string | Default of string
+
+type attr_decl = { attr_name : string; attr_default : attr_default }
+
+type element_decl = {
+  el_name : string;
+  el_content : content;
+  el_attrs : attr_decl list;
+}
+
+type t
+
+val make : element_decl list -> t
+(** @raise Invalid_argument on duplicate element declarations. *)
+
+val elements : t -> element_decl list
+val find : t -> string -> element_decl option
+(** Case-insensitive lookup. *)
+
+val alphabet : t -> Alphabet.t
+(** All declared element names (upper case) as an interned alphabet —
+    the universe content models are interpreted over. *)
+
+val content_lang : t -> string -> Lang.t option
+(** The regular language of valid child-name sequences of an element:
+    [Children m] compiles [m]; [Mixed names] gives [names*];
+    [Pcdata]/[Empty_content] give [{ε}]; [Any_content] gives [Σ*].
+    [None] if the element is undeclared. *)
+
+(** {1 Validation} *)
+
+type violation = {
+  v_path : Html_tree.path;
+  v_element : string;
+  v_reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render back as DTD declarations; {!Dtd_parse.parse} of the output
+    reconstructs an equal set of declarations. *)
+
+val to_string : t -> string
+
+val validate : t -> Html_tree.doc -> violation list
+(** All violations, pre-order: undeclared elements, child sequences
+    outside the content model, element children under [Pcdata]/[EMPTY],
+    missing [#REQUIRED] attributes, and non-[Fixed] values for [#FIXED]
+    attributes.  Empty list = valid. *)
+
+val is_valid : t -> Html_tree.doc -> bool

@@ -1,0 +1,63 @@
+type error = Undeclared_parent of string | Target_not_in_content of string
+
+let pp_error ppf = function
+  | Undeclared_parent n ->
+      Format.fprintf ppf "parent element %s is not declared" n
+  | Target_not_in_content n ->
+      Format.fprintf ppf
+        "the content model admits no such occurrence of %s" n
+
+let child_expression dtd ~parent ~target ~nth =
+  if nth < 0 then invalid_arg "Dtd_guide.child_expression: negative nth";
+  match Dtd.content_lang dtd parent with
+  | None -> Error (Undeclared_parent parent)
+  | Some cm -> (
+      let alpha = Dtd.alphabet dtd in
+      match Alphabet.find alpha (String.uppercase_ascii target) with
+      | None -> Error (Target_not_in_content target)
+      | Some t ->
+          let tsym = Lang.sym alpha t in
+          let sigma_star = Lang.sigma_star alpha in
+          let left =
+            Lang.filter_count
+              (Lang.suffix_quotient cm (Lang.concat tsym sigma_star))
+              ~sym:t nth
+          in
+          if Lang.is_empty left then Error (Target_not_in_content target)
+          else
+            let right =
+              Lang.prefix_quotient (Lang.concat left tsym) cm
+            in
+            Ok (Extraction.of_langs alpha left t right))
+
+let resilient_child_expression dtd ~parent ~target ~nth =
+  match child_expression dtd ~parent ~target ~nth with
+  | Error e -> Error e
+  | Ok e -> (
+      match Synthesis.maximize e with
+      | Ok (e', _) -> Ok e'
+      | Error _ -> Ok e)
+
+let extract_child dtd expr doc ~parent_path =
+  let alpha = Dtd.alphabet dtd in
+  match Html_tree.node_at doc parent_path with
+  | None -> Error "parent path dangles"
+  | Some (Html_tree.Text _ | Html_tree.Comment _) ->
+      Error "parent path addresses a non-element"
+  | Some (Html_tree.Element { children; _ }) -> (
+      (* child-name word, remembering which child each symbol came from *)
+      let indexed =
+        List.mapi (fun i nd -> (i, nd)) children
+        |> List.filter_map (fun (i, nd) ->
+               match nd with
+               | Html_tree.Element { name; _ } -> (
+                   match Alphabet.find alpha name with
+                   | Some c -> Some (i, c)
+                   | None -> None)
+               | Html_tree.Text _ | Html_tree.Comment _ -> None)
+      in
+      let word = Word.of_list (List.map snd indexed) in
+      match Extraction.extract expr word with
+      | `Unique i -> Ok (fst (List.nth indexed i))
+      | `Ambiguous _ -> Error "ambiguous extraction"
+      | `No_match -> Error "no match")

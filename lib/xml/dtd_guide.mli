@@ -1,0 +1,43 @@
+(** DTD-guided synthesis of extraction expressions (§8: "using DTDs to
+    guide the learning algorithms", instantiated).
+
+    Instead of inducing the initial expression from sample pages, the
+    parent element's {e content model} supplies it directly: to extract
+    the (n+1)-th [target]-child of a [parent] element, take
+
+    - left  = (CM / target·Σ* ) ‖_target^n — content-model prefixes that
+      can be followed by [target] and already contain exactly [n]
+      occurrences of it;
+    - right = (left·target) \ CM — the valid completions;
+
+    over the DTD's element alphabet.  The left side fixes the number of
+    preceding [target]s, so the expression is unambiguous by
+    construction, resilient to insertion/removal of {e other} sibling
+    types wherever the content model allows them, and (having bounded
+    mark count) maximizable by Algorithm 6.2 after relaxation. *)
+
+type error =
+  | Undeclared_parent of string
+  | Target_not_in_content of string
+      (** the content model admits no child sequence with > n targets *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val child_expression :
+  Dtd.t -> parent:string -> target:string -> nth:int -> (Extraction.t, error) result
+(** The unambiguous initial expression described above ([nth] is
+    0-based: [nth = 1] marks the second [target] child). *)
+
+val resilient_child_expression :
+  Dtd.t -> parent:string -> target:string -> nth:int -> (Extraction.t, error) result
+(** [child_expression] followed by {!Synthesis.maximize}; falls back to
+    the unmaximized expression if no strategy applies. *)
+
+val extract_child :
+  Dtd.t ->
+  Extraction.t ->
+  Html_tree.doc ->
+  parent_path:Html_tree.path ->
+  (int, string) result
+(** Run a DTD-derived expression on the child-name sequence of the
+    addressed element; returns the child index of the extracted node. *)

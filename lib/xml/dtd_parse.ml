@@ -1,0 +1,262 @@
+exception Parse_error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.' || c = ':'
+
+let rec skip_ws st =
+  (match peek st with
+  | Some c when is_space c ->
+      st.pos <- st.pos + 1;
+      skip_ws st
+  | _ -> ());
+  (* comments *)
+  if
+    st.pos + 3 < String.length st.src
+    && String.sub st.src st.pos 4 = "<!--"
+  then begin
+    let rec close i =
+      if i + 2 >= String.length st.src then String.length st.src
+      else if String.sub st.src i 3 = "-->" then i + 3
+      else close (i + 1)
+    in
+    st.pos <- close (st.pos + 4);
+    skip_ws st
+  end
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %c" c)
+
+let name st =
+  skip_ws st;
+  let start = st.pos in
+  while
+    st.pos < String.length st.src && is_name_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let literal st lit =
+  skip_ws st;
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.src
+    && String.uppercase_ascii (String.sub st.src st.pos n) = lit
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let quantifier st p =
+  match peek st with
+  | Some '*' ->
+      st.pos <- st.pos + 1;
+      Dtd.Star p
+  | Some '+' ->
+      st.pos <- st.pos + 1;
+      Dtd.Plus p
+  | Some '?' ->
+      st.pos <- st.pos + 1;
+      Dtd.Opt p
+  | _ -> p
+
+(* cp  := lparen cps rparen quant? | NAME quant?
+   cps := cp (pipe cp)+ | cp (comma cp)+ | cp *)
+let rec content_particle st =
+  skip_ws st;
+  match peek st with
+  | Some '(' ->
+      st.pos <- st.pos + 1;
+      let first = content_particle st in
+      skip_ws st;
+      let p =
+        match peek st with
+        | Some '|' ->
+            let rec alts acc =
+              skip_ws st;
+              match peek st with
+              | Some '|' ->
+                  st.pos <- st.pos + 1;
+                  alts (content_particle st :: acc)
+              | _ -> List.rev acc
+            in
+            Dtd.Choice (alts [ first ])
+        | Some ',' ->
+            let rec seqs acc =
+              skip_ws st;
+              match peek st with
+              | Some ',' ->
+                  st.pos <- st.pos + 1;
+                  seqs (content_particle st :: acc)
+              | _ -> List.rev acc
+            in
+            Dtd.Seq (seqs [ first ])
+        | _ -> first
+      in
+      expect st ')';
+      quantifier st p
+  | _ ->
+      let n = name st in
+      quantifier st (Dtd.Name n)
+
+(* content after <!ELEMENT name … *)
+let content st =
+  skip_ws st;
+  if literal st "EMPTY" then Dtd.Empty_content
+  else if literal st "ANY" then Dtd.Any_content
+  else begin
+    expect st '(';
+    skip_ws st;
+    if peek st = Some '#' then begin
+      (* (#PCDATA) or (#PCDATA | a | b)* *)
+      st.pos <- st.pos + 1;
+      let kw = name st in
+      if String.uppercase_ascii kw <> "PCDATA" then fail st "expected #PCDATA";
+      let rec names acc =
+        skip_ws st;
+        match peek st with
+        | Some '|' ->
+            st.pos <- st.pos + 1;
+            names (name st :: acc)
+        | _ -> List.rev acc
+      in
+      let ns = names [] in
+      expect st ')';
+      if peek st = Some '*' then st.pos <- st.pos + 1
+      else if ns <> [] then fail st "mixed content must end with )*";
+      if ns = [] then Dtd.Pcdata else Dtd.Mixed ns
+    end
+    else begin
+      (* rewind the '(' and parse a full particle *)
+      st.pos <- st.pos - 1;
+      Dtd.Children (content_particle st)
+    end
+  end
+
+let quoted st =
+  skip_ws st;
+  match peek st with
+  | Some (('"' | '\'') as q) ->
+      st.pos <- st.pos + 1;
+      let start = st.pos in
+      while st.pos < String.length st.src && st.src.[st.pos] <> q do
+        st.pos <- st.pos + 1
+      done;
+      if st.pos >= String.length st.src then fail st "unterminated string";
+      let v = String.sub st.src start (st.pos - start) in
+      st.pos <- st.pos + 1;
+      v
+  | _ -> fail st "expected a quoted string"
+
+let attr_defs st =
+  (* sequence of: name TYPE default, until '>' *)
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | Some '>' -> List.rev acc
+    | _ ->
+        let attr_name = String.lowercase_ascii (name st) in
+        (* attribute type: a name, or an enumeration (a|b|c) *)
+        skip_ws st;
+        (match peek st with
+        | Some '(' ->
+            (* skip enumeration *)
+            while peek st <> Some ')' && peek st <> None do
+              st.pos <- st.pos + 1
+            done;
+            expect st ')'
+        | _ -> ignore (name st));
+        skip_ws st;
+        let attr_default =
+          if literal st "#REQUIRED" then Dtd.Required
+          else if literal st "#IMPLIED" then Dtd.Implied
+          else if literal st "#FIXED" then Dtd.Fixed (quoted st)
+          else Dtd.Default (quoted st)
+        in
+        loop ({ Dtd.attr_name; attr_default } :: acc)
+  in
+  loop []
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let elements : (string, Dtd.content) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let attlists : (string, Dtd.attr_decl list) Hashtbl.t = Hashtbl.create 16 in
+  let rec loop () =
+    skip_ws st;
+    match peek st with
+    | None -> ()
+    | Some ']' ->
+        (* end of a <!DOCTYPE … [ internal subset ]> wrapper *)
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        (match peek st with
+        | Some '>' -> st.pos <- st.pos + 1
+        | Some _ | None -> ());
+        loop ()
+    | Some _ ->
+        expect st '<';
+        expect st '!';
+        let kw = String.uppercase_ascii (name st) in
+        (match kw with
+        | "ELEMENT" ->
+            let n = String.uppercase_ascii (name st) in
+            let c = content st in
+            if Hashtbl.mem elements n then
+              fail st ("duplicate <!ELEMENT " ^ n ^ ">");
+            Hashtbl.add elements n c;
+            order := n :: !order;
+            expect st '>'
+        | "ATTLIST" ->
+            let n = String.uppercase_ascii (name st) in
+            let defs = attr_defs st in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt attlists n) in
+            Hashtbl.replace attlists n (prev @ defs);
+            expect st '>'
+        | "DOCTYPE" ->
+            (* skip "root" etc. up to the opening '[' of the subset *)
+            let rec to_bracket () =
+              match peek st with
+              | Some '[' -> st.pos <- st.pos + 1
+              | Some _ ->
+                  st.pos <- st.pos + 1;
+                  to_bracket ()
+              | None -> fail st "expected [ after DOCTYPE"
+            in
+            to_bracket ()
+        | other -> fail st ("unsupported declaration <!" ^ other));
+        loop ()
+  in
+  loop ();
+  let decls =
+    List.rev_map
+      (fun n ->
+        {
+          Dtd.el_name = n;
+          el_content = Hashtbl.find elements n;
+          el_attrs = Option.value ~default:[] (Hashtbl.find_opt attlists n);
+        })
+      !order
+  in
+  Dtd.make decls
+
+let parse_result src =
+  match parse src with
+  | dtd -> Ok dtd
+  | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "DTD parse error at offset %d: %s" pos msg)

@@ -1,0 +1,21 @@
+(** Parser for DTD internal-subset syntax.
+
+    Supported declarations:
+    {v
+      <!ELEMENT name EMPTY>            <!ELEMENT name ANY>
+      <!ELEMENT name (#PCDATA)>        <!ELEMENT name (#PCDATA | a | b)*>
+      <!ELEMENT name (a, (b | c)*, d?)>
+      <!ATTLIST name attr CDATA #REQUIRED
+                     other CDATA #IMPLIED
+                     kind  CDATA #FIXED "v"
+                     lang  CDATA "default">
+    v}
+
+    Comments ([<!-- … -->]) and whitespace are skipped.  Attribute types
+    other than [CDATA] (enumerations, [ID], …) are accepted and treated
+    as [CDATA].  Entity declarations are not supported. *)
+
+exception Parse_error of string * int
+
+val parse : string -> Dtd.t
+val parse_result : string -> (Dtd.t, string) result

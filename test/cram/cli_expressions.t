@@ -1,0 +1,55 @@
+Expression-level subcommands.
+
+Check a maximal expression:
+
+  $ rexdex check -a p,q '([^p])* <p> .*'
+  expression : [^p]* <p> .*
+  ambiguous  : no
+  maximal    : yes
+
+Check a non-maximal one (witness wording may vary; exit code 0):
+
+  $ rexdex check -a p,q 'q p <p> .*' | head -2
+  expression : q p <p> .*
+  ambiguous  : no
+
+An ambiguous expression exits 1 with a witness:
+
+  $ rexdex check -a p,q 'p* <p> p*'
+  expression : p* <p> p*
+  ambiguous  : yes — e.g. pp has multiple splits
+  [1]
+
+Maximize Example 4.7's expression:
+
+  $ rexdex maximize -a p,q 'q p <p> .*'
+  strategy : pivot maximization with (@) ⋅q⋅ (@) ⋅p⋅ (@)
+  result   : p* q q* p q* <p> .*
+
+Extract from a token string:
+
+  $ rexdex extract -a p,q 'q p <p> q*' 'q p p q'
+  position 2
+
+  $ rexdex extract -a p,q 'q p <p> q*' 'q q'
+  no match
+  [1]
+
+Errors are reported with positions:
+
+  $ rexdex check -a p,q 'p* <p'
+  parse error at offset 0: missing <p> marker
+  [2]
+
+  $ rexdex extract -a p,q 'z <p> .*' 'p'
+  parse error at offset 2: unknown symbol "z"
+  [2]
+
+Render a minimal DFA as Graphviz DOT:
+
+  $ rexdex dot -a p,q '(p q)* p' | head -5
+  digraph dfa {
+    rankdir=LR;
+    __start [shape=point];
+    q0 [shape=circle, style=solid];
+    q1 [shape=doublecircle, style=solid];

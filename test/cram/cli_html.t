@@ -1,0 +1,63 @@
+HTML pipeline subcommands.
+
+  $ cat > sample1.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text" data-target="1"><input type="radio"></form>
+  > EOF
+  $ cat > sample2.html <<'EOF'
+  > <table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input type="image"><input type="text" data-target="1"><input type="radio"></form></td></tr></table>
+  > EOF
+  $ cat > fresh.html <<'EOF'
+  > <div><h1>Shop</h1><hr><form><input type="image"><input type="text"><input type="radio"></form></div>
+  > EOF
+
+Tag-sequence view (§3 abstraction):
+
+  $ rexdex tokens sample1.html
+  P /P H1 /H1 FORM INPUT INPUT INPUT /FORM
+
+Learn a wrapper from two marked samples and test it on a fresh page:
+
+  $ rexdex learn sample1.html sample2.html -t fresh.html --save w.rexdex | tail -2
+  saved     : w.rexdex
+  fresh.html: target at 0.2.1
+
+Apply the saved wrapper:
+
+  $ rexdex apply -w w.rexdex fresh.html
+  fresh.html: target at 0.2.1
+
+A page without the concept's anchors fails honestly:
+
+  $ cat > empty.html <<'EOF'
+  > <p>nothing here</p>
+  > EOF
+  $ rexdex apply -w w.rexdex empty.html
+  empty.html: no match on page
+  [1]
+
+DTD validation:
+
+  $ cat > cat.dtd <<'EOF'
+  > <!ELEMENT catalog (product+)>
+  > <!ELEMENT product (name, price)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT price (#PCDATA)>
+  > EOF
+  $ cat > ok.xml <<'EOF'
+  > <catalog><product><name>x</name><price>9</price></product></catalog>
+  > EOF
+  $ cat > bad.xml <<'EOF'
+  > <catalog><product><price>9</price><name>x</name></product></catalog>
+  > EOF
+  $ rexdex validate cat.dtd ok.xml
+  ok.xml: valid
+  $ rexdex validate cat.dtd bad.xml
+  bad.xml: PRODUCT at /0/0: child sequence [PRICE NAME] violates content model
+  [1]
+
+Perturbation is deterministic under a fixed seed:
+
+  $ rexdex perturb sample1.html -n 2 --seed 7 > v1.html
+  $ rexdex perturb sample1.html -n 2 --seed 7 > v2.html
+  $ cmp v1.html v2.html && echo deterministic
+  deterministic

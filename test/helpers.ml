@@ -1,0 +1,89 @@
+(* Shared test scaffolding: fixed alphabets, generators, oracles. *)
+
+(* The paper's running alphabet: Σ = {p, q}, plus a third letter for
+   cases that need it. *)
+let ab_pq = Alphabet.make [ "p"; "q" ]
+let ab_pqr = Alphabet.make [ "p"; "q"; "r" ]
+
+(* HTML-ish alphabet used by the §3/§7 examples. *)
+let ab_tags =
+  Alphabet.make
+    [
+      "P"; "/P"; "H1"; "/H1"; "FORM"; "/FORM"; "INPUT"; "TABLE"; "/TABLE";
+      "TR"; "/TR"; "TD"; "/TD"; "A"; "/A"; "IMG"; "BR"; "TH"; "/TH";
+    ]
+
+let w alpha s = Word.of_string alpha s
+let rx alpha s = Regex_parse.parse alpha s
+let lang alpha s = Lang.parse alpha s
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let lang_testable alpha =
+  Alcotest.testable
+    (fun ppf l -> Lang.pp ppf l)
+    (fun a b -> ignore alpha; Lang.equal a b)
+
+let check_lang alpha msg expected actual =
+  Alcotest.check (lang_testable alpha) msg expected actual
+
+(* QCheck generator for plain regexes over a given alphabet. *)
+let gen_plain_regex alpha : Regex.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let k = Alphabet.size alpha in
+  let leaf =
+    frequency
+      [
+        (6, map Regex.sym (int_bound (k - 1)));
+        (1, return Regex.eps);
+        (1, return Regex.empty);
+        (1, return Regex.any);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n <= 1 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (4, map2 Regex.alt (self (n / 2)) (self (n / 2)));
+            (5, map2 Regex.cat (self (n / 2)) (self (n / 2)));
+            (2, map Regex.star (self (n - 1)));
+            (1, map Regex.opt (self (n - 1)));
+          ])
+    8
+
+(* Extended regexes: adds intersection, difference, complement. *)
+let gen_ext_regex alpha : Regex.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let plain = gen_plain_regex alpha in
+  let* base = plain in
+  let* rest = plain in
+  frequency
+    [
+      (3, return base);
+      (1, return (Regex.inter base rest));
+      (1, return (Regex.diff base rest));
+      (1, return (Regex.compl base));
+    ]
+
+let arb_plain_regex alpha =
+  QCheck.make ~print:(Regex.to_string alpha) (gen_plain_regex alpha)
+
+let arb_ext_regex alpha =
+  QCheck.make ~print:(Regex.to_string alpha) (gen_ext_regex alpha)
+
+let gen_word alpha max_len : Word.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let k = Alphabet.size alpha in
+  let* n = int_bound max_len in
+  map Array.of_list (list_size (return n) (int_bound (k - 1)))
+
+let arb_word alpha max_len =
+  QCheck.make ~print:(Word.to_string alpha) (gen_word alpha max_len)
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

@@ -1,0 +1,157 @@
+(* Failure injection: the parsers must be total — arbitrary byte soup,
+   adversarial HTML shapes, and truncated DTDs may be rejected with
+   errors but must never raise unexpected exceptions or hang.  Also the
+   §8 expressiveness-limitation demonstration. *)
+
+open Helpers
+
+(* --- random byte soup --- *)
+
+let gen_bytes =
+  QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_bound 300)))
+
+let arb_bytes = QCheck.make ~print:String.escaped gen_bytes
+
+let html_chars =
+  [ '<'; '>'; '/'; '='; '"'; '\''; '!'; '-'; 'a'; 'b'; 'p'; ' '; '\n' ]
+
+let gen_htmlish =
+  QCheck.Gen.(
+    map
+      (fun l -> String.init (List.length l) (List.nth l))
+      (list_size (int_bound 400) (oneofl html_chars)))
+
+let arb_htmlish = QCheck.make ~print:String.escaped gen_htmlish
+
+let prop_lexer_total =
+  qtest ~count:500 "Html_lexer.tokenize never raises" arb_bytes (fun s ->
+      match Html_lexer.tokenize s with _ -> true)
+
+let prop_lexer_total_htmlish =
+  qtest ~count:500 "tokenizer survives tag-soup" arb_htmlish (fun s ->
+      match Html_lexer.tokenize s with _ -> true)
+
+let prop_tree_total =
+  qtest ~count:500 "Html_tree.parse never raises" arb_htmlish (fun s ->
+      match Html_tree.parse s with _ -> true)
+
+let prop_tree_serialize_total =
+  qtest ~count:200 "parse ∘ serialize is total and stable" arb_htmlish
+    (fun s ->
+      let d1 = Html_tree.parse s in
+      let d2 = Html_tree.parse (Html_tree.to_string d1) in
+      let d3 = Html_tree.parse (Html_tree.to_string d2) in
+      Html_tree.equal d2 d3)
+
+let prop_dtd_parse_total =
+  qtest ~count:500 "Dtd_parse rejects garbage without raising" arb_bytes
+    (fun s ->
+      match Dtd_parse.parse_result s with Ok _ | Error _ -> true)
+
+let dtd_chars =
+  [ '<'; '>'; '!'; '('; ')'; '|'; ','; '*'; '+'; '?'; '#'; 'E'; 'L'; 'M';
+    'N'; 'T'; 'A'; 'a'; ' ' ]
+
+let gen_dtdish =
+  QCheck.Gen.(
+    map
+      (fun l -> "<!ELEMENT " ^ String.init (List.length l) (List.nth l))
+      (list_size (int_bound 120) (oneofl dtd_chars)))
+
+let prop_dtd_parse_total_dtdish =
+  qtest ~count:500 "Dtd_parse survives truncated declarations"
+    (QCheck.make ~print:String.escaped gen_dtdish)
+    (fun s -> match Dtd_parse.parse_result s with Ok _ | Error _ -> true)
+
+let prop_regex_parse_total =
+  qtest ~count:500 "Regex_parse rejects garbage without raising" arb_bytes
+    (fun s ->
+      match Regex_parse.parse_result ab_pq s with Ok _ | Error _ -> true)
+
+let prop_wrapper_io_total =
+  qtest ~count:300 "Wrapper_io.of_string rejects garbage gracefully"
+    arb_bytes
+    (fun s -> match Wrapper_io.of_string s with Ok _ | Error _ -> true)
+
+(* Deep nesting must not blow the stack at realistic depths. *)
+let test_deep_nesting () =
+  let depth = 20_000 in
+  let buf = Buffer.create (depth * 10) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<div>"
+  done;
+  Buffer.add_string buf "x";
+  (* unclosed on purpose: builder must auto-close *)
+  let doc = Html_tree.parse (Buffer.contents buf) in
+  Alcotest.(check bool) "parsed" true (Html_tree.count_nodes doc > 0)
+
+let test_pathological_attributes () =
+  let page =
+    "<input " ^ String.concat " " (List.init 500 (fun i -> Printf.sprintf "a%d=\"%d\"" i i)) ^ ">"
+  in
+  match Html_lexer.tokenize page with
+  | [ Html_token.Start_tag { attrs; _ } ] ->
+      Alcotest.(check int) "all attributes kept" 500 (List.length attrs)
+  | _ -> Alcotest.fail "expected one start tag"
+
+(* --- §8 limitation: middle-row extraction is not regular --- *)
+
+let test_section8_middle_row_limitation () =
+  (* Training sets TR^n ⟨TR⟩ TR^n for growing n.  Any regular wrapper
+     that generalizes the samples must eventually mis-extract: the true
+     concept TR^n ⟨TR⟩ TR^n is context-free.  We show the concrete
+     failure: merging the first k samples yields an expression that
+     either fails to parse or extracts the wrong row of a larger
+     table — the paper's §8 honesty point. *)
+  let alpha = Alphabet.make [ "TR" ] in
+  let tr = Alphabet.find_exn alpha "TR" in
+  let sample n =
+    Merge.sample (Word.of_list (List.init ((2 * n) + 1) (fun _ -> tr))) n
+  in
+  match Merge.merge ~generalize_suffix:false alpha [ sample 1; sample 2 ] with
+  | Error e -> Alcotest.failf "merge: %a" Merge.pp_error e
+  | Ok e ->
+      (* the merged expression handles the training sizes … *)
+      List.iter
+        (fun n ->
+          let s = sample n in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d trained ok" n)
+            true
+            (List.mem s.Merge.mark_pos (Extraction.splits e s.Merge.word)))
+        [ 1; 2 ];
+      (* … but on a larger table it cannot pick out exactly the middle *)
+      let big = sample 10 in
+      let verdict = Extraction.extract e big.Merge.word in
+      Alcotest.(check bool)
+        "middle row of a larger table is missed or ambiguous" true
+        (match verdict with
+        | `Unique i -> i <> big.Merge.mark_pos
+        | `Ambiguous _ | `No_match -> true)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "totality",
+        [
+          prop_lexer_total;
+          prop_lexer_total_htmlish;
+          prop_tree_total;
+          prop_tree_serialize_total;
+          prop_dtd_parse_total;
+          prop_dtd_parse_total_dtdish;
+          prop_regex_parse_total;
+          prop_wrapper_io_total;
+        ] );
+      ( "pathological-inputs",
+        [
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "many attributes" `Quick
+            test_pathological_attributes;
+        ] );
+      ( "expressiveness-limits",
+        [
+          Alcotest.test_case "§8 middle-row concept is not regular" `Quick
+            test_section8_middle_row_limitation;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Tests for the HTML substrate: lexer, tree builder, serializer,
+   tag-sequence abstraction, path/mark mapping. *)
+
+open Helpers
+
+let check_tokens msg expected html =
+  let got =
+    Html_lexer.tokenize html
+    |> List.map (fun t ->
+           match t with
+           | Html_token.Start_tag { name; _ } -> name
+           | Html_token.End_tag n -> "/" ^ n
+           | Html_token.Text _ -> "#text"
+           | Html_token.Comment _ -> "#comment"
+           | Html_token.Doctype _ -> "#doctype")
+  in
+  Alcotest.(check (list string)) msg expected got
+
+let test_lexer_basics () =
+  check_tokens "simple" [ "P"; "#text"; "/P" ] "<p>hello</p>";
+  check_tokens "attrs"
+    [ "A"; "#text"; "/A" ]
+    {|<a href="x.html" class='c' data-k>go</a>|};
+  check_tokens "self-closing" [ "BR" ] "<br />";
+  check_tokens "comment + doctype"
+    [ "#doctype"; "#comment"; "P"; "/P" ]
+    "<!DOCTYPE html><!-- hi --><p></p>";
+  check_tokens "case folding" [ "DIV"; "/DIV" ] "<DiV></dIv>"
+
+let test_lexer_attrs () =
+  let toks = Html_lexer.tokenize {|<input type="text" checked value=42>|} in
+  match toks with
+  | [ (Html_token.Start_tag _ as t) ] ->
+      (match Html_token.attr t "type" with
+      | Some (Some "text") -> ()
+      | _ -> Alcotest.fail "type attr");
+      (match Html_token.attr t "checked" with
+      | Some None -> ()
+      | _ -> Alcotest.fail "valueless attr");
+      (match Html_token.attr t "value" with
+      | Some (Some "42") -> ()
+      | _ -> Alcotest.fail "unquoted attr");
+      (match Html_token.attr t "missing" with
+      | None -> ()
+      | _ -> Alcotest.fail "missing attr")
+  | _ -> Alcotest.fail "expected one start tag"
+
+let test_lexer_malformed () =
+  (* Must never raise; stray < is text. *)
+  check_tokens "stray lt" [ "#text" ] "a < b";
+  check_tokens "unterminated tag" [ "P" ] "<p";
+  check_tokens "empty" [] "";
+  check_tokens "unterminated comment" [ "#comment" ] "<!-- oops"
+
+let test_lexer_script () =
+  check_tokens "script body is raw"
+    [ "SCRIPT"; "#text"; "/SCRIPT"; "P"; "/P" ]
+    {|<script>if (a<b) { x = "<p>"; }</script><p></p>|}
+
+let test_tree_nesting () =
+  let doc = Html_tree.parse "<div><p>one</p><p>two</p></div>" in
+  match doc with
+  | [ Html_tree.Element { name = "DIV"; children = [ p1; p2 ]; _ } ] ->
+      (match p1 with
+      | Html_tree.Element { name = "P"; children = [ Html_tree.Text "one" ]; _ }
+        ->
+          ()
+      | _ -> Alcotest.fail "p1 shape");
+      (match p2 with
+      | Html_tree.Element { name = "P"; _ } -> ()
+      | _ -> Alcotest.fail "p2 shape")
+  | _ -> Alcotest.fail "div shape"
+
+let test_tree_void_and_implied () =
+  (* <p> is implicitly closed by the following block element. *)
+  let doc = Html_tree.parse "<p>text<h1>title</h1>" in
+  (match doc with
+  | [ Html_tree.Element { name = "P"; _ }; Html_tree.Element { name = "H1"; _ } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "implied </p>");
+  (* void elements never nest children *)
+  let doc2 = Html_tree.parse "<div><br>after</div>" in
+  match doc2 with
+  | [
+   Html_tree.Element
+     {
+       name = "DIV";
+       children =
+         [ Html_tree.Element { name = "BR"; children = []; _ }; Html_tree.Text _ ];
+       _;
+     };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "void BR"
+
+let test_tree_table_implied () =
+  let doc = Html_tree.parse "<table><tr><td>a<td>b<tr><td>c</table>" in
+  match Html_tree.find_elements "TR" doc with
+  | [ (_, Html_tree.Element { children = c1; _ }); (_, _) ] ->
+      check_int "first row has two cells" 2 (List.length c1)
+  | l -> Alcotest.failf "expected 2 rows, got %d" (List.length l)
+
+let test_tree_unmatched_end () =
+  let doc = Html_tree.parse "<div>a</span>b</div>" in
+  match doc with
+  | [ Html_tree.Element { name = "DIV"; children; _ } ] ->
+      check_int "both texts kept" 2 (List.length children)
+  | _ -> Alcotest.fail "unmatched end tag dropped"
+
+let test_roundtrip_stability () =
+  (* parse ∘ to_string ∘ parse = parse *)
+  let sources =
+    [
+      "<div><p>one</p><br><img src=\"x\"></div>";
+      "<table><tr><td><form><input type=\"text\"></form></td></tr></table>";
+      "<p>a<p>b<p>c";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let d1 = Html_tree.parse src in
+      let d2 = Html_tree.parse (Html_tree.to_string d1) in
+      check_bool (Printf.sprintf "stable: %s" src) true (Html_tree.equal d1 d2))
+    sources
+
+let test_paths () =
+  let doc = Html_tree.parse "<div><p>a</p><p>b</p></div><hr>" in
+  (match Html_tree.node_at doc [ 0; 1 ] with
+  | Some (Html_tree.Element { name = "P"; _ }) -> ()
+  | _ -> Alcotest.fail "node_at 0.1");
+  (match Html_tree.node_at doc [ 1 ] with
+  | Some (Html_tree.Element { name = "HR"; _ }) -> ()
+  | _ -> Alcotest.fail "node_at 1");
+  check_bool "dangling path" true (Html_tree.node_at doc [ 0; 5 ] = None);
+  (* insert then re-read *)
+  (match Html_tree.insert_at doc [ 0; 1 ] (Html_tree.element "B" []) with
+  | Some doc' -> (
+      match Html_tree.node_at doc' [ 0; 1 ] with
+      | Some (Html_tree.Element { name = "B"; _ }) -> ()
+      | _ -> Alcotest.fail "inserted node not found")
+  | None -> Alcotest.fail "insert failed");
+  (* replace (delete) *)
+  match Html_tree.replace_at doc [ 0; 0 ] (fun _ -> []) with
+  | Some doc' -> (
+      match Html_tree.node_at doc' [ 0; 0 ] with
+      | Some (Html_tree.Element { name = "P"; children = [ Html_tree.Text "b" ]; _ })
+        ->
+          ()
+      | _ -> Alcotest.fail "sibling did not shift")
+  | None -> Alcotest.fail "replace failed"
+
+let test_find_elements () =
+  let doc = Html_tree.parse "<form><input><input></form><input>" in
+  check_int "three inputs" 3 (List.length (Html_tree.find_elements "input" doc));
+  check_int "one form" 1 (List.length (Html_tree.find_elements "FORM" doc))
+
+(* --- tag sequences --- *)
+
+let test_tag_seq_basics () =
+  let doc = Html_tree.parse "<p>x</p><form><input></form>" in
+  let alpha = Tag_seq.alphabet_of_docs [ doc ] in
+  let word = Tag_seq.of_doc alpha doc in
+  check_string "sequence" "P /P FORM INPUT /FORM" (Word.to_string alpha word)
+
+let test_tag_seq_void_no_close () =
+  let doc = Html_tree.parse "<div><br><img src='x'></div>" in
+  let alpha = Tag_seq.alphabet_of_docs [ doc ] in
+  check_bool "no /BR symbol" true (Alphabet.find alpha "/BR" = None);
+  check_string "sequence" "DIV BR IMG /DIV"
+    (Word.to_string alpha (Tag_seq.of_doc alpha doc))
+
+let test_mark_roundtrip () =
+  let doc =
+    Html_tree.parse "<form><input type='a'><input type='b'><input type='c'></form>"
+  in
+  let alpha = Tag_seq.alphabet_of_docs [ doc ] in
+  (* mark the middle input: path [0; 1] *)
+  match Tag_seq.mark_of_path alpha doc [ 0; 1 ] with
+  | None -> Alcotest.fail "mark_of_path"
+  | Some (word, i) ->
+      check_int "position of 2nd input" 2 i;
+      check_string "word" "FORM INPUT INPUT INPUT /FORM"
+        (Word.to_string alpha word);
+      (match Tag_seq.path_of_mark alpha doc i with
+      | Some [ 0; 1 ] -> ()
+      | _ -> Alcotest.fail "path_of_mark inverse");
+      (* text/comment targets are rejected *)
+      let doc2 = Html_tree.parse "<p>just text</p>" in
+      check_bool "text target rejected" true
+        (Tag_seq.mark_of_path alpha doc2 [ 0; 0 ] = None)
+
+let test_figure1_sequences () =
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let alpha = Tag_seq.alphabet_of_docs [ top; bottom ] in
+  (* §3's abstraction of the two documents (modulo <p> auto-closing,
+     which our tree builder makes explicit). *)
+  check_string "top" "P /P H1 /H1 P /P FORM INPUT INPUT BR INPUT BR INPUT /FORM"
+    (Word.to_string alpha (Tag_seq.of_doc alpha top));
+  check_string "bottom"
+    "TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR TR TD \
+     FORM INPUT INPUT INPUT BR INPUT /FORM /TD /TR /TABLE"
+    (Word.to_string alpha (Tag_seq.of_doc alpha bottom));
+  (* the marked element is the 2nd INPUT of the form in both *)
+  (match Pagegen.target_path top with
+  | Some path -> (
+      match Tag_seq.mark_of_path alpha top path with
+      | Some (word, i) ->
+          check_bool "marks an INPUT" true
+            (Alphabet.name alpha word.(i) = "INPUT");
+          check_int "2nd input of top page" 8 i
+      | None -> Alcotest.fail "mark top")
+  | None -> Alcotest.fail "target top");
+  match Pagegen.target_path bottom with
+  | Some path -> (
+      match Tag_seq.mark_of_path alpha bottom path with
+      | Some (word, i) ->
+          check_bool "marks an INPUT" true
+            (Alphabet.name alpha word.(i) = "INPUT")
+      | None -> Alcotest.fail "mark bottom")
+  | None -> Alcotest.fail "target bottom"
+
+(* --- abstraction levels --- *)
+
+let test_abstraction_symbols () =
+  let abs = Abstraction.Tags_with_attrs [ ("INPUT", "type") ] in
+  let attrs v = [ { Html_token.name = "type"; value = v } ] in
+  check_string "refined" "INPUT:type=text"
+    (Abstraction.start_symbol abs "input" (attrs (Some "Text")));
+  check_string "valueless attr falls back" "INPUT"
+    (Abstraction.start_symbol abs "INPUT" (attrs None));
+  check_string "missing attr falls back" "INPUT"
+    (Abstraction.start_symbol abs "INPUT" []);
+  check_string "unrefined element" "DIV"
+    (Abstraction.start_symbol abs "div" (attrs (Some "x")));
+  check_string "plain tags never refine" "INPUT"
+    (Abstraction.start_symbol Abstraction.Tags "INPUT" (attrs (Some "text")));
+  check_string "end symbol" "/FORM" (Abstraction.end_symbol "form")
+
+let test_tag_seq_refined () =
+  let abs = Abstraction.Tags_with_attrs [ ("INPUT", "type") ] in
+  let doc =
+    Html_tree.parse {|<form><input type="image"><input type="text"></form>|}
+  in
+  let alpha = Tag_seq.alphabet_of_docs ~abs [ doc ] in
+  check_string "refined sequence"
+    "FORM INPUT:type=image INPUT:type=text /FORM"
+    (Word.to_string alpha (Tag_seq.of_doc ~abs alpha doc));
+  (* refined symbols survive the expression parser (identifier chars) *)
+  let e = Regex_parse.parse alpha "FORM INPUT:type=image INPUT:type=text /FORM" in
+  check_bool "parseable as regex" true
+    (Lang.mem (Lang.of_regex alpha e) (Tag_seq.of_doc ~abs alpha doc));
+  (* mark/path roundtrip under refinement *)
+  match Tag_seq.mark_of_path ~abs alpha doc [ 0; 1 ] with
+  | Some (_, i) -> (
+      check_int "mark position" 2 i;
+      match Tag_seq.path_of_mark ~abs alpha doc i with
+      | Some [ 0; 1 ] -> ()
+      | _ -> Alcotest.fail "path_of_mark under refinement")
+  | None -> Alcotest.fail "mark_of_path under refinement"
+
+let prop_serializer_roundtrip =
+  (* Generated trees survive to_string ∘ parse. *)
+  let gen_tree =
+    let open QCheck.Gen in
+    let tag = oneofl [ "DIV"; "P"; "TABLE"; "TR"; "TD"; "FORM"; "A"; "B" ] in
+    let rec node n =
+      if n <= 0 then map (fun t -> Html_tree.element t []) tag
+      else
+        frequency
+          [
+            (2, map (fun t -> Html_tree.element t []) tag);
+            (1, return (Html_tree.text "x"));
+            ( 3,
+              map2
+                (fun t kids -> Html_tree.element t kids)
+                tag
+                (list_size (int_bound 3) (node (n - 1))) );
+          ]
+    in
+    list_size (int_bound 4) (node 3)
+  in
+  qtest ~count:100 "serializer/parser fixpoint"
+    (QCheck.make
+       ~print:(fun d -> Html_tree.to_string d)
+       gen_tree)
+    (fun doc ->
+      (* P cannot nest inside P (implied end tags); normalize once, then
+         require stability. *)
+      let d1 = Html_tree.parse (Html_tree.to_string doc) in
+      let d2 = Html_tree.parse (Html_tree.to_string d1) in
+      Html_tree.equal d1 d2)
+
+let () =
+  Alcotest.run "html"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "attributes" `Quick test_lexer_attrs;
+          Alcotest.test_case "malformed input" `Quick test_lexer_malformed;
+          Alcotest.test_case "script raw text" `Quick test_lexer_script;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "nesting" `Quick test_tree_nesting;
+          Alcotest.test_case "void + implied end" `Quick
+            test_tree_void_and_implied;
+          Alcotest.test_case "table implied cells" `Quick
+            test_tree_table_implied;
+          Alcotest.test_case "unmatched end tag" `Quick test_tree_unmatched_end;
+          Alcotest.test_case "roundtrip stability" `Quick
+            test_roundtrip_stability;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "find_elements" `Quick test_find_elements;
+          prop_serializer_roundtrip;
+        ] );
+      ( "tag-seq",
+        [
+          Alcotest.test_case "basics" `Quick test_tag_seq_basics;
+          Alcotest.test_case "void tags" `Quick test_tag_seq_void_no_close;
+          Alcotest.test_case "mark roundtrip" `Quick test_mark_roundtrip;
+          Alcotest.test_case "figure 1 sequences" `Quick test_figure1_sequences;
+        ] );
+      ( "abstraction",
+        [
+          Alcotest.test_case "symbol refinement" `Quick
+            test_abstraction_symbols;
+          Alcotest.test_case "refined tag sequences" `Quick
+            test_tag_seq_refined;
+        ] );
+    ]

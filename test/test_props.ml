@@ -1,0 +1,185 @@
+(* Cross-cutting properties tying the layers together: order laws for ≼,
+   sampled-word validation of synthesized wrappers, guided alignment,
+   language sampling, and persistence roundtrips on randomly learned
+   wrappers. *)
+
+open Helpers
+
+let p = Alphabet.find_exn ab_pq "p"
+let ex s = Extraction.parse ab_pq s
+
+(* --- partial-order laws for ≼ (Defn 4.4) --- *)
+
+let arb_expr =
+  QCheck.map
+    (fun (l, r) -> Extraction.make ab_pq l p r)
+    (QCheck.pair (arb_plain_regex ab_pq) (arb_plain_regex ab_pq))
+
+let prop_preceq_reflexive =
+  qtest ~count:60 "≼ is reflexive" arb_expr (fun e -> Expr_order.preceq e e)
+
+let prop_preceq_transitive =
+  qtest ~count:60 "≼ is transitive on language-ordered triples"
+    (QCheck.triple (arb_plain_regex ab_pq) (arb_plain_regex ab_pq)
+       (arb_plain_regex ab_pq))
+    (fun (a, b, c) ->
+      (* build a ⊆ a|b ⊆ a|b|c chains so the premise holds by construction *)
+      let e1 = Extraction.make ab_pq a p a in
+      let e2 = Extraction.make ab_pq (Regex.alt a b) p (Regex.alt a b) in
+      let e3 =
+        Extraction.make ab_pq
+          (Regex.alt_list [ a; b; c ])
+          p
+          (Regex.alt_list [ a; b; c ])
+      in
+      Expr_order.preceq e1 e2 && Expr_order.preceq e2 e3
+      && Expr_order.preceq e1 e3)
+
+let prop_preceq_antisymmetric =
+  qtest ~count:60 "mutual ≼ = equivalence" (QCheck.pair arb_expr arb_expr)
+    (fun (e1, e2) ->
+      if Expr_order.preceq e1 e2 && Expr_order.preceq e2 e1 then
+        Expr_order.equivalent e1 e2
+      else true)
+
+let prop_preceq_implies_language_containment =
+  qtest ~count:60 "f ≼ e ⇒ L(f) ⊆ L(e)" (QCheck.pair arb_expr arb_expr)
+    (fun (f, e) ->
+      if Expr_order.preceq f e then
+        Lang.subset (Extraction.language f) (Extraction.language e)
+      else true)
+
+(* --- sampled members of synthesized languages extract uniquely --- *)
+
+let arb_bounded_left =
+  let open QCheck.Gen in
+  let pfree = oneofl [ "q"; "q q"; "([^p])*"; "q*"; "(q q)*"; "q | q q" ] in
+  let gen =
+    let* a = pfree and* b = pfree in
+    let* shape = int_bound 2 in
+    return
+      (match shape with
+      | 0 -> a
+      | 1 -> Printf.sprintf "%s p %s" a b
+      | _ -> Printf.sprintf "%s p %s p q" a b)
+  in
+  QCheck.make ~print:Fun.id gen
+
+let prop_sampled_members_extract_uniquely =
+  qtest ~count:40 "random members of maximized languages split uniquely"
+    (QCheck.pair arb_bounded_left QCheck.small_int)
+    (fun (left_str, seed) ->
+      let e = ex (left_str ^ " <p> .*") in
+      match Synthesis.maximize e with
+      | Error _ -> true
+      | Ok (e', _) -> (
+          let rng = Random.State.make [| seed |] in
+          let lang = Extraction.language e' in
+          match Lang.sample lang rng ~max_len:12 with
+          | None -> true
+          | Some word -> (
+              match Extraction.extract e' word with
+              | `Unique _ -> true
+              | `Ambiguous _ | `No_match -> false)))
+
+let prop_sample_is_member =
+  qtest ~count:100 "Lang.sample produces members"
+    (QCheck.pair (arb_plain_regex ab_pqr) QCheck.small_int)
+    (fun (e, seed) ->
+      let l = Lang.of_regex ab_pqr e in
+      let rng = Random.State.make [| seed |] in
+      match Lang.sample l rng ~max_len:10 with
+      | None -> Lang.is_empty l || Lang.shortest l = None
+        || Array.length (Option.get (Lang.shortest l)) > 10
+      | Some w -> Lang.mem l w)
+
+(* --- guided alignment --- *)
+
+let prop_guided_is_common_subsequence =
+  qtest ~count:100 "guided skeleton is a common subsequence"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) (arb_word ab_pq 8))
+    (fun words ->
+      let c = Align.lcs_many_guided words in
+      List.for_all (fun w -> Align.carve w c <> None) words)
+
+let test_guided_beats_bad_order () =
+  (* naive fold order can be hurt by a degenerate first word; guided
+     alignment seeds from the most similar pair instead *)
+  let words = [ w ab_pq "q"; w ab_pq "pqpqpq"; w ab_pq "pqpqp" ] in
+  let naive = Align.lcs_many words in
+  let guided = Align.lcs_many_guided words in
+  check_bool "guided at least as long" true
+    (Array.length guided >= Array.length naive)
+
+(* --- persistence of randomly learned wrappers --- *)
+
+let prop_learned_wrappers_roundtrip =
+  qtest ~count:15 "learned wrapper ≡ save/load of itself"
+    (QCheck.make ~print:string_of_int QCheck.Gen.small_int)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let base = Pagegen.generate rng (Pagegen.random_profile rng) in
+      let variant = Perturb.perturb rng ~intensity:2 base in
+      match (Pagegen.target_path base, Pagegen.target_path variant) with
+      | Some pb, Some pv -> (
+          match Wrapper.learn [ (base, pb); (variant, pv) ] with
+          | Error _ -> true (* learning may legitimately fail; covered in E6 *)
+          | Ok w -> (
+              match Wrapper_io.of_string (Wrapper_io.to_string w) with
+              | Error _ -> false
+              | Ok w2 ->
+                  let test = Perturb.perturb rng ~intensity:2 base in
+                  Wrapper.extract w test = Wrapper.extract w2 test))
+      | _ -> false)
+
+(* --- maximality witnesses are actionable --- *)
+
+let prop_left_witness_extends =
+  qtest ~count:40 "Not_maximal_left witness extends the expression"
+    arb_bounded_left
+    (fun left_str ->
+      let e = ex (left_str ^ " <p> q*") in
+      if Ambiguity.is_ambiguous e then true
+      else
+        match Maximality.check e with
+        | Maximality.Not_maximal_left wrd ->
+            let bigger =
+              Extraction.make ab_pq
+                (Regex.alt e.Extraction.left (Regex.word wrd))
+                p e.Extraction.right
+            in
+            Ambiguity.is_unambiguous bigger
+            && Expr_order.strictly_below e bigger
+        | Maximality.Not_maximal_right wrd ->
+            let bigger =
+              Extraction.make ab_pq e.Extraction.left p
+                (Regex.alt e.Extraction.right (Regex.word wrd))
+            in
+            Ambiguity.is_unambiguous bigger
+            && Expr_order.strictly_below e bigger
+        | Maximality.Maximal | Maximality.Ambiguous_input _ -> true)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "order-laws",
+        [
+          prop_preceq_reflexive;
+          prop_preceq_transitive;
+          prop_preceq_antisymmetric;
+          prop_preceq_implies_language_containment;
+        ] );
+      ( "sampling",
+        [
+          prop_sample_is_member;
+          prop_sampled_members_extract_uniquely;
+        ] );
+      ( "alignment",
+        [
+          prop_guided_is_common_subsequence;
+          Alcotest.test_case "guided beats bad order" `Quick
+            test_guided_beats_bad_order;
+        ] );
+      ("persistence", [ prop_learned_wrappers_roundtrip ]);
+      ("witnesses", [ prop_left_witness_extends ]);
+    ]

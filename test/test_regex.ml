@@ -1,0 +1,191 @@
+(* Unit and property tests for the Regex AST, smart constructors,
+   Brzozowski derivatives, and the concrete-syntax parser/printer. *)
+
+open Helpers
+
+let p = Alphabet.find_exn ab_pq "p"
+let q = Alphabet.find_exn ab_pq "q"
+
+(* --- smart constructors --- *)
+
+let test_alt_identities () =
+  check_bool "E|∅ = E" true Regex.(equal (alt (sym p) empty) (sym p));
+  check_bool "∅|E = E" true Regex.(equal (alt empty (sym p)) (sym p));
+  check_bool "E|E = E" true Regex.(equal (alt (sym p) (sym p)) (sym p));
+  check_bool "commutative normal form" true
+    Regex.(equal (alt (sym p) eps) (alt eps (sym p)))
+
+let test_alt_merges_classes () =
+  check_bool "p|q = [p q]" true
+    Regex.(equal (alt (sym p) (sym q)) (cls [ p; q ]))
+
+let test_cat_identities () =
+  check_bool "E·ε = E" true Regex.(equal (cat (sym p) eps) (sym p));
+  check_bool "ε·E = E" true Regex.(equal (cat eps (sym p)) (sym p));
+  check_bool "E·∅ = ∅" true Regex.(equal (cat (sym p) empty) empty);
+  check_bool "∅·E = ∅" true Regex.(equal (cat empty (sym p)) empty)
+
+let test_star_identities () =
+  check_bool "(E*)* = E*" true
+    Regex.(equal (star (star (sym p))) (star (sym p)));
+  check_bool "∅* = ε" true Regex.(equal (star empty) eps);
+  check_bool "ε* = ε" true Regex.(equal (star eps) eps)
+
+let test_repeat () =
+  let pp3 = Regex.repeat 3 (Regex.sym p) in
+  check_bool "p{3} matches ppp" true (Regex.matches pp3 (w ab_pq "ppp"));
+  check_bool "p{3} rejects pp" false (Regex.matches pp3 (w ab_pq "pp"));
+  let r = Regex.repeat_range 1 (Some 2) (Regex.sym q) in
+  check_bool "q{1,2} matches q" true (Regex.matches r (w ab_pq "q"));
+  check_bool "q{1,2} matches qq" true (Regex.matches r (w ab_pq "qq"));
+  check_bool "q{1,2} rejects ε" false (Regex.matches r [||]);
+  check_bool "q{1,2} rejects qqq" false (Regex.matches r (w ab_pq "qqq"))
+
+(* --- nullability and derivatives --- *)
+
+let test_nullable () =
+  check_bool "ε nullable" true (Regex.nullable Regex.eps);
+  check_bool "∅ not nullable" false (Regex.nullable Regex.empty);
+  check_bool "p not nullable" false (Regex.nullable (Regex.sym p));
+  check_bool "p* nullable" true (Regex.nullable (Regex.star (Regex.sym p)));
+  check_bool "~p nullable (complement)" true
+    (Regex.nullable (Regex.compl (Regex.sym p)));
+  check_bool "p* & q* nullable" true
+    Regex.(nullable (inter (star (sym p)) (star (sym q))));
+  check_bool "p* - ε not nullable" true
+    (not Regex.(nullable (diff (star (sym p)) eps)))
+
+let test_deriv_matches () =
+  let e = rx ab_pq "(p q)* p" in
+  check_bool "matches p" true (Regex.matches e (w ab_pq "p"));
+  check_bool "matches pqp" true (Regex.matches e (w ab_pq "pqp"));
+  check_bool "rejects pq" false (Regex.matches e (w ab_pq "pq"));
+  check_bool "rejects ε" false (Regex.matches e [||])
+
+let test_deriv_extended () =
+  let e = rx ab_pq "(p | q)* - (p q)" in
+  check_bool "pq excluded" false (Regex.matches e (w ab_pq "pq"));
+  check_bool "qp included" true (Regex.matches e (w ab_pq "qp"));
+  let c = rx ab_pq "~(p*)" in
+  check_bool "complement rejects pp" false (Regex.matches c (w ab_pq "pp"));
+  check_bool "complement accepts q" true (Regex.matches c (w ab_pq "q"))
+
+(* --- parser / printer --- *)
+
+let test_parse_basics () =
+  let cases =
+    [
+      ("p", Regex.sym p);
+      ("p | q", Regex.alt (Regex.sym p) (Regex.sym q));
+      ("p q", Regex.cat (Regex.sym p) (Regex.sym q));
+      ("p*", Regex.star (Regex.sym p));
+      ("p+", Regex.plus (Regex.sym p));
+      ("p?", Regex.opt (Regex.sym p));
+      (".", Regex.any);
+      ("@", Regex.eps);
+      ("!", Regex.empty);
+      ("[^p]", Regex.any_but p);
+      ("[p q]", Regex.cls [ p; q ]);
+      ("~p", Regex.compl (Regex.sym p));
+      ( "(p | q) & p*",
+        Regex.inter
+          (Regex.alt (Regex.sym p) (Regex.sym q))
+          (Regex.star (Regex.sym p)) );
+      (". - p", Regex.diff Regex.any (Regex.sym p));
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      let got = rx ab_pq s in
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S" s)
+        true
+        (Regex.equal got expected))
+    cases
+
+let test_parse_precedence () =
+  (* union binds loosest: p | q p* parses as p | (q (p* )) *)
+  let e = rx ab_pq "p | q p*" in
+  let expected =
+    Regex.alt (Regex.sym p) (Regex.cat (Regex.sym q) (Regex.star (Regex.sym p)))
+  in
+  check_bool "p | q p*" true (Regex.equal e expected);
+  (* diff between union and inter: p - q & p == p - (q & p) *)
+  let e2 = rx ab_pq "p - q & p" in
+  let expected2 =
+    Regex.diff (Regex.sym p) (Regex.inter (Regex.sym q) (Regex.sym p))
+  in
+  check_bool "p - q & p" true (Regex.equal e2 expected2)
+
+let test_parse_tags () =
+  let e = rx ab_tags "FORM ([^INPUT])* INPUT" in
+  let form = Alphabet.find_exn ab_tags "FORM" in
+  let input = Alphabet.find_exn ab_tags "INPUT" in
+  let expected =
+    Regex.cat_list [ Regex.sym form; Regex.any_but_star input; Regex.sym input ]
+  in
+  check_bool "HTML-ish expression" true (Regex.equal e expected)
+
+let test_parse_errors () =
+  let bad s =
+    match Regex_parse.parse_result ab_pq s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "p |";
+  bad "(p";
+  bad "z";
+  bad "p )";
+  bad "[p";
+  bad "*";
+  bad "p{2";
+  bad "p{}"
+
+let prop_print_parse_roundtrip =
+  qtest "print/parse roundtrip preserves AST" (arb_plain_regex ab_pqr)
+    (fun e ->
+      let s = Regex.to_string ab_pqr e in
+      let e' = Regex_parse.parse ab_pqr s in
+      Regex.equal e e')
+
+let prop_deriv_word_assoc =
+  qtest "derivative by uv = derivative by u then v"
+    (QCheck.pair (arb_plain_regex ab_pq)
+       (QCheck.pair (arb_word ab_pq 4) (arb_word ab_pq 4)))
+    (fun (e, (u, v)) ->
+      let both = Regex.deriv_word (Array.append u v) e in
+      let stepwise = Regex.deriv_word v (Regex.deriv_word u e) in
+      Regex.matches both [||] = Regex.matches stepwise [||])
+
+let prop_size_positive =
+  qtest "size and height are positive" (arb_ext_regex ab_pq) (fun e ->
+      Regex.size e >= 1 && Regex.height e >= 1)
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "smart-constructors",
+        [
+          Alcotest.test_case "alt identities" `Quick test_alt_identities;
+          Alcotest.test_case "alt merges classes" `Quick test_alt_merges_classes;
+          Alcotest.test_case "cat identities" `Quick test_cat_identities;
+          Alcotest.test_case "star identities" `Quick test_star_identities;
+          Alcotest.test_case "repeat" `Quick test_repeat;
+        ] );
+      ( "derivatives",
+        [
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "matches" `Quick test_deriv_matches;
+          Alcotest.test_case "extended operators" `Quick test_deriv_extended;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "tag alphabet" `Quick test_parse_tags;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "properties",
+        [ prop_print_parse_roundtrip; prop_deriv_word_assoc; prop_size_positive ]
+      );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for the XML/DTD extension (§8 future work): DTD parsing,
+   content-model validation via the automata engine, and DTD-guided
+   extraction-expression synthesis. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let catalog_dtd_src =
+  {|<!-- a product catalog -->
+<!ELEMENT CATALOG (BANNER?, PRODUCT+)>
+<!ELEMENT BANNER EMPTY>
+<!ELEMENT PRODUCT (NAME, PRICE, NOTE*)>
+<!ELEMENT NAME (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT NOTE (#PCDATA | B)*>
+<!ELEMENT B (#PCDATA)>
+<!ATTLIST PRODUCT id CDATA #REQUIRED
+                  status (new|used) #IMPLIED
+                  kind CDATA #FIXED "good"
+                  lang CDATA "en">|}
+
+let catalog_dtd = Dtd_parse.parse catalog_dtd_src
+
+(* --- parsing --- *)
+
+let test_parse_declarations () =
+  check_int "seven elements" 7 (List.length (Dtd.elements catalog_dtd));
+  (match Dtd.find catalog_dtd "product" with
+  | Some d -> (
+      check_int "four attribute declarations" 4 (List.length d.Dtd.el_attrs);
+      match d.Dtd.el_content with
+      | Dtd.Children (Dtd.Seq [ Dtd.Name "NAME"; Dtd.Name "PRICE"; Dtd.Star (Dtd.Name "NOTE") ])
+        ->
+          ()
+      | _ -> Alcotest.fail "PRODUCT content shape")
+  | None -> Alcotest.fail "PRODUCT not found");
+  (match Dtd.find catalog_dtd "BANNER" with
+  | Some { Dtd.el_content = Dtd.Empty_content; _ } -> ()
+  | _ -> Alcotest.fail "BANNER should be EMPTY");
+  (match Dtd.find catalog_dtd "NOTE" with
+  | Some { Dtd.el_content = Dtd.Mixed [ "B" ]; _ } -> ()
+  | _ -> Alcotest.fail "NOTE should be mixed");
+  match Dtd.find catalog_dtd "NAME" with
+  | Some { Dtd.el_content = Dtd.Pcdata; _ } -> ()
+  | _ -> Alcotest.fail "NAME should be #PCDATA"
+
+let test_parse_doctype_wrapper () =
+  let src =
+    "<!DOCTYPE catalog [ <!ELEMENT catalog (item*)> <!ELEMENT item EMPTY> ]>"
+  in
+  let dtd = Dtd_parse.parse src in
+  check_int "two elements" 2 (List.length (Dtd.elements dtd))
+
+let test_parse_errors () =
+  let bad s =
+    match Dtd_parse.parse_result s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected failure: %s" s
+  in
+  bad "<!ELEMENT a (b>";
+  bad "<!ELEMENT a (#WRONG)>";
+  bad "<!WHAT x>";
+  bad "<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>"
+
+let test_content_lang () =
+  let alpha = Dtd.alphabet catalog_dtd in
+  let word names = Word.of_names alpha names in
+  (match Dtd.content_lang catalog_dtd "CATALOG" with
+  | Some l ->
+      check_bool "banner + products ok" true
+        (Lang.mem l (word [ "BANNER"; "PRODUCT"; "PRODUCT" ]));
+      check_bool "products only ok" true (Lang.mem l (word [ "PRODUCT" ]));
+      check_bool "no products rejected" false (Lang.mem l (word [ "BANNER" ]));
+      check_bool "two banners rejected" false
+        (Lang.mem l (word [ "BANNER"; "BANNER"; "PRODUCT" ]))
+  | None -> Alcotest.fail "CATALOG content_lang");
+  match Dtd.content_lang catalog_dtd "BANNER" with
+  | Some l ->
+      check_bool "EMPTY means epsilon" true (Lang.mem l [||]);
+      check_bool "EMPTY rejects children" false (Lang.mem l (word [ "B" ]))
+  | None -> Alcotest.fail "BANNER content_lang"
+
+(* --- validation --- *)
+
+let valid_doc =
+  Html_tree.parse
+    {|<catalog><banner></banner>
+      <product id="1"><name>x</name><price>9</price></product>
+      <product id="2"><name>y</name><price>8</price><note>hi <b>new</b></note></product>
+      </catalog>|}
+
+let test_validate_ok () =
+  Alcotest.(check (list string))
+    "no violations" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Dtd.pp_violation v)
+       (Dtd.validate catalog_dtd valid_doc))
+
+let test_validate_violations () =
+  let check_violation name doc expected_substring =
+    let contains msg re =
+      let rec go i =
+        i + String.length re <= String.length msg
+        && (String.sub msg i (String.length re) = re || go (i + 1))
+      in
+      go 0
+    in
+    match Dtd.validate catalog_dtd (Html_tree.parse doc) with
+    | [] -> Alcotest.failf "%s: expected a violation" name
+    | vs ->
+        let msgs = List.map (Format.asprintf "%a" Dtd.pp_violation) vs in
+        check_bool
+          (Printf.sprintf "%s mentions %S (got %s)" name expected_substring
+             (String.concat "; " msgs))
+          true
+          (List.exists (fun m -> contains m expected_substring) msgs)
+  in
+  check_violation "missing product" "<catalog><banner></banner></catalog>"
+    "violates content model";
+  check_violation "wrong order"
+    {|<catalog><product id="1"><price>9</price><name>x</name></product></catalog>|}
+    "violates content model";
+  check_violation "undeclared element" "<catalog><widget></widget></catalog>"
+    "not declared";
+  check_violation "missing required attr"
+    "<catalog><product><name>x</name><price>9</price></product></catalog>"
+    "#REQUIRED";
+  check_violation "banner with content"
+    {|<catalog><banner><b>x</b></banner><product id="1"><name>x</name><price>9</price></product></catalog>|}
+    "EMPTY";
+  check_violation "fixed attribute"
+    {|<catalog><product id="1" kind="bad"><name>x</name><price>9</price></product></catalog>|}
+    "fixed"
+
+let test_is_valid () =
+  check_bool "valid doc" true (Dtd.is_valid catalog_dtd valid_doc);
+  check_bool "invalid doc" false
+    (Dtd.is_valid catalog_dtd (Html_tree.parse "<catalog></catalog>"))
+
+(* --- DTD-guided extraction --- *)
+
+let test_child_expression () =
+  (* the PRICE child of a PRODUCT (first and only) *)
+  match Dtd_guide.child_expression catalog_dtd ~parent:"PRODUCT" ~target:"PRICE" ~nth:0 with
+  | Error e -> Alcotest.failf "child_expression: %a" Dtd_guide.pp_error e
+  | Ok e ->
+      check_bool "unambiguous by construction" true (Ambiguity.is_unambiguous e);
+      let alpha = Dtd.alphabet catalog_dtd in
+      let word = Word.of_names alpha [ "NAME"; "PRICE"; "NOTE"; "NOTE" ] in
+      (match Extraction.extract e word with
+      | `Unique 1 -> ()
+      | _ -> Alcotest.fail "should extract the PRICE position")
+
+let test_child_expression_nth () =
+  (* second PRODUCT of the CATALOG *)
+  match Dtd_guide.child_expression catalog_dtd ~parent:"CATALOG" ~target:"PRODUCT" ~nth:1 with
+  | Error e -> Alcotest.failf "nth: %a" Dtd_guide.pp_error e
+  | Ok e -> (
+      let alpha = Dtd.alphabet catalog_dtd in
+      let word names = Word.of_names alpha names in
+      (match Extraction.extract e (word [ "BANNER"; "PRODUCT"; "PRODUCT"; "PRODUCT" ]) with
+      | `Unique 2 -> ()
+      | _ -> Alcotest.fail "2nd product with banner");
+      (* resilient to the optional BANNER disappearing *)
+      match Extraction.extract e (word [ "PRODUCT"; "PRODUCT" ]) with
+      | `Unique 1 -> ()
+      | _ -> Alcotest.fail "2nd product without banner")
+
+let test_child_expression_errors () =
+  (match Dtd_guide.child_expression catalog_dtd ~parent:"NOSUCH" ~target:"X" ~nth:0 with
+  | Error (Dtd_guide.Undeclared_parent _) -> ()
+  | _ -> Alcotest.fail "undeclared parent");
+  (* BANNER never appears twice in CATALOG *)
+  match Dtd_guide.child_expression catalog_dtd ~parent:"CATALOG" ~target:"BANNER" ~nth:1 with
+  | Error (Dtd_guide.Target_not_in_content _) -> ()
+  | _ -> Alcotest.fail "second banner impossible"
+
+let test_resilient_child_expression () =
+  match
+    Dtd_guide.resilient_child_expression catalog_dtd ~parent:"PRODUCT"
+      ~target:"PRICE" ~nth:0
+  with
+  | Error e -> Alcotest.failf "resilient: %a" Dtd_guide.pp_error e
+  | Ok e ->
+      check_bool "still unambiguous" true (Ambiguity.is_unambiguous e);
+      check_bool "maximal after synthesis" true (Maximality.is_maximal e);
+      (* now resilient even to child sequences the DTD does not allow *)
+      let alpha = Dtd.alphabet catalog_dtd in
+      let weird = Word.of_names alpha [ "NOTE"; "NAME"; "NAME"; "PRICE"; "B" ] in
+      match Extraction.extract e weird with
+      | `Unique 3 -> ()
+      | _ -> Alcotest.fail "maximized expression should still find PRICE"
+
+let test_extract_child () =
+  match Dtd_guide.child_expression catalog_dtd ~parent:"PRODUCT" ~target:"PRICE" ~nth:0 with
+  | Error _ -> Alcotest.fail "expression"
+  | Ok e -> (
+      (* product at path [0;1]: text children interleaved *)
+      match Dtd_guide.extract_child catalog_dtd e valid_doc ~parent_path:[ 0; 1 ] with
+      | Ok idx -> (
+          match Html_tree.node_at valid_doc [ 0; 1; idx ] with
+          | Some (Html_tree.Element { name = "PRICE"; _ }) -> ()
+          | _ -> Alcotest.fail "index does not address the PRICE node")
+      | Error msg -> Alcotest.failf "extract_child: %s" msg)
+
+let test_dtd_print_parse_roundtrip () =
+  let printed = Dtd.to_string catalog_dtd in
+  let dtd2 = Dtd_parse.parse printed in
+  Alcotest.(check int)
+    "same number of declarations"
+    (List.length (Dtd.elements catalog_dtd))
+    (List.length (Dtd.elements dtd2));
+  List.iter
+    (fun d ->
+      match Dtd.find dtd2 d.Dtd.el_name with
+      | Some d2 ->
+          check_bool (d.Dtd.el_name ^ " content roundtrips") true
+            (d.Dtd.el_content = d2.Dtd.el_content);
+          check_bool (d.Dtd.el_name ^ " attrs roundtrip") true
+            (d.Dtd.el_attrs = d2.Dtd.el_attrs)
+      | None -> Alcotest.failf "lost declaration %s" d.Dtd.el_name)
+    (Dtd.elements catalog_dtd);
+  (* content languages agree too *)
+  check_bool "CATALOG language preserved" true
+    (Lang.equal
+       (Option.get (Dtd.content_lang catalog_dtd "CATALOG"))
+       (Option.get (Dtd.content_lang dtd2 "CATALOG")))
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "dtd-parse",
+        [
+          Alcotest.test_case "declarations" `Quick test_parse_declarations;
+          Alcotest.test_case "doctype wrapper" `Quick test_parse_doctype_wrapper;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_dtd_print_parse_roundtrip;
+        ] );
+      ( "content-models",
+        [ Alcotest.test_case "content_lang" `Quick test_content_lang ] );
+      ( "validation",
+        [
+          Alcotest.test_case "valid document" `Quick test_validate_ok;
+          Alcotest.test_case "violations" `Quick test_validate_violations;
+          Alcotest.test_case "is_valid" `Quick test_is_valid;
+        ] );
+      ( "dtd-guided-extraction",
+        [
+          Alcotest.test_case "child expression" `Quick test_child_expression;
+          Alcotest.test_case "nth occurrence" `Quick test_child_expression_nth;
+          Alcotest.test_case "errors" `Quick test_child_expression_errors;
+          Alcotest.test_case "maximized" `Quick test_resilient_child_expression;
+          Alcotest.test_case "tree-level extraction" `Quick test_extract_child;
+        ] );
+    ]
