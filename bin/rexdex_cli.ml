@@ -6,7 +6,8 @@
      extract    run an extraction expression over a token string
      tokens     print the tag-sequence abstraction of an HTML file
      learn      induce a wrapper from sample HTML pages (data-target marks)
-     perturb    apply random §3-taxonomy edits to an HTML page *)
+     perturb    apply random §3-taxonomy edits to an HTML page
+     selftest   run the differential-oracle fuzz campaign (lib/oracle) *)
 
 open Cmdliner
 
@@ -322,8 +323,37 @@ let perturb_cmd =
   Cmd.v (Cmd.info "perturb" ~doc)
     Term.(const run $ html_file_arg 0 $ intensity_arg $ seed_arg)
 
+(* --- selftest --- *)
+
+let selftest_cmd =
+  let cases_arg =
+    let doc =
+      "Total fuzz-case budget, split evenly across the oracle tests."
+    in
+    Arg.(value & opt int 1000 & info [ "n"; "cases" ] ~docv:"CASES" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign PRNG seed.  Equal seeds and budgets produce byte-identical \
+       reports, so any violation replays exactly."
+    in
+    Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run cases seed =
+    let outcomes =
+      Oracle_harness.run ~seed ~budget:cases Oracle_harness.all
+    in
+    Oracle_harness.pp_report ~seed ~budget:cases Format.std_formatter outcomes;
+    if Oracle_harness.total_violations outcomes > 0 then exit 1
+  in
+  let doc =
+    "fuzz the §5–§6 decision procedures against independent reference \
+     implementations (differential oracles)"
+  in
+  Cmd.v (Cmd.info "selftest" ~doc) Term.(const run $ cases_arg $ seed_arg)
+
 let () =
   let doc = "resilient data extraction from semistructured sources" in
   let info = Cmd.info "rexdex" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; perturb_cmd; validate_cmd; dot_cmd ]))
+    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))

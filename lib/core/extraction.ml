@@ -153,5 +153,21 @@ let splits t w =
   done;
   !ok
 
+(* Same specification as [splits], but membership is decided by
+   iterated Brzozowski derivatives on the syntax — no automata are
+   built, so this path shares nothing with the DFA pipeline and serves
+   as its differential reference (lib/oracle). *)
+let splits_deriv t w =
+  let n = Array.length w in
+  let ok = ref [] in
+  for i = n - 1 downto 0 do
+    if
+      w.(i) = t.mark
+      && Regex.matches t.left (Array.sub w 0 i)
+      && Regex.matches t.right (Array.sub w (i + 1) (n - i - 1))
+    then ok := i :: !ok
+  done;
+  !ok
+
 let parses t w = splits t w <> []
 let extract t w = classify (splits t w)

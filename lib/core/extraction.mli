@@ -44,6 +44,12 @@ val splits : t -> Word.t -> int list
     [w(i..] ∈ L(E2)] — the candidate extractions, ascending.  Uses a
     brute per-position check; see {!compile} for the linear-time path. *)
 
+val splits_deriv : t -> Word.t -> int list
+(** Same positions as {!splits}, computed by iterated Brzozowski
+    derivatives ({!Regex.matches}) instead of compiled automata.  Slow;
+    exists as an independent reference implementation for the
+    differential oracles (lib/oracle). *)
+
 val extract : t -> Word.t -> [ `Unique of int | `Ambiguous of int list | `No_match ]
 
 (** {1 Compiled matchers} *)

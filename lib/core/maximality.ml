@@ -32,11 +32,22 @@ let check (e : Extraction.t) =
   if Ambiguity.is_ambiguous_langs l1 p l2 then
     Ambiguous_input (Ambiguity.witness e)
   else
-    match Lang.shortest (left_deficiency l1 p l2) with
+    (* The witness must be actionable: adjoining it per Prop 5.7 has to
+       give a STRICT extension, so words already in the side language
+       are excluded.  Whenever E2 ≠ ∅ the exclusion is a no-op
+       (L(E1) ⊆ (E1·p·E2)/(p·E2), so the deficiency avoids L(E1)); with
+       E2 = ∅ the left deficiency is all of Σ* and would otherwise
+       yield witnesses inside L(E1) — found by the lib/oracle campaign. *)
+    match Lang.shortest (Lang.diff (left_deficiency l1 p l2) l1) with
     | Some w -> Not_maximal_left w
     | None -> (
-        match Lang.shortest (right_deficiency l1 p l2) with
+        match Lang.shortest (Lang.diff (right_deficiency l1 p l2) l2) with
         | Some w -> Not_maximal_right w
-        | None -> Maximal)
+        | None ->
+            (* A nonempty deficiency hiding entirely inside its own side
+               language needs the opposite side to be ∅, which makes the
+               mirror deficiency all of Σ* minus that (empty) side — so
+               reaching this point means both deficiencies are empty. *)
+            Maximal)
 
 let is_maximal e = check e = Maximal

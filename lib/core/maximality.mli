@@ -16,8 +16,10 @@
 type verdict =
   | Maximal
   | Not_maximal_left of Word.t
-      (** A word ρ ∉ (E1·p·E2)/(p·E2): per the proof of Prop 5.7,
-          [(ρ|E1)⟨p⟩E2] is unambiguous and strictly larger. *)
+      (** A word ρ ∉ (E1·p·E2)/(p·E2) with ρ ∉ L(E1): per the proof of
+          Prop 5.7, [(ρ|E1)⟨p⟩E2] is unambiguous and strictly larger.
+          (The second condition is automatic when E2 ≠ ∅ and keeps the
+          witness actionable when E2 = ∅.) *)
   | Not_maximal_right of Word.t
       (** Dually, a word extending E2. *)
   | Ambiguous_input of Word.t option

@@ -145,8 +145,11 @@ let sample a rng ~max_len =
        reachable within budget *)
     let rec attempt n =
       if n = 0 then
-        (* fall back to the shortest word *)
-        shortest a
+        (* fall back to the shortest word — unless even it exceeds the
+           caller's budget, in which case honor the length contract *)
+        match shortest a with
+        | Some w when Array.length w <= max_len -> Some w
+        | Some _ | None -> None
       else
         match walk d.Dfa.start [] 0 with
         | Some l -> Some (Word.of_list l)

@@ -81,8 +81,10 @@ val words_upto : t -> int -> int array list
 val sample : t -> Random.State.t -> max_len:int -> int array option
 (** A random member of length ≤ [max_len], or [None] if there is none:
     a uniform-ish random walk over live states that stops at a final
-    state with probability proportional to remaining budget.  Used by
-    the tests to generate members of synthesized languages. *)
+    state with probability proportional to remaining budget, falling
+    back to {!shortest} when every walk strands (never exceeding
+    [max_len]).  Used by the tests and the oracle campaign to generate
+    members of synthesized languages. *)
 
 (** {1 Rendering} *)
 

@@ -1,0 +1,31 @@
+let tests ~count =
+  [
+    QCheck.Test.make ~count ~name:"E‖_p^n = {w ∈ E | #p(w) = n} on words ≤ 4"
+      (Oracle_gen.arb_count_case ())
+      (fun (alpha, re, sym, n) ->
+        let l = Lang.of_regex alpha re in
+        let f = Lang.filter_count l ~sym n in
+        Seq.for_all
+          (fun w ->
+            Lang.mem f w = (Lang.mem l w && Word.count sym w = n))
+          (Word.enumerate alpha 4));
+    QCheck.Test.make ~count ~name:"max_sym_count bound is attained and tight"
+      (Oracle_gen.arb_count_case ())
+      (fun (alpha, re, sym, _) ->
+        let l = Lang.of_regex alpha re in
+        match Lang.max_sym_count l ~sym with
+        | `Empty -> Lang.is_empty l
+        | `Unbounded -> not (Lang.is_empty l)
+        | `Bounded k ->
+            (not (Lang.is_empty (Lang.filter_count l ~sym k)))
+            && Lang.is_empty (Lang.filter_count l ~sym (k + 1)));
+    QCheck.Test.make ~count ~name:"bounded_mark_count agrees with max_sym_count"
+      (Oracle_gen.arb_count_case ())
+      (fun (alpha, re, sym, _) ->
+        let l = Lang.of_regex alpha re in
+        match (Left_filter.bounded_mark_count l sym, Lang.max_sym_count l ~sym) with
+        | Some n, `Bounded k -> n = k
+        | Some 0, `Empty -> true
+        | None, `Unbounded -> true
+        | _ -> false);
+  ]

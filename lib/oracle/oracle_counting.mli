@@ -1,0 +1,12 @@
+(** Brute-force oracle for the sequence filtering operator (Def 6.1).
+
+    [E‖_p^n] — the words of [E] with exactly [n] occurrences of [p] —
+    is the engine of Algorithm 6.2; a wrong final state in
+    {!Dfa_ops.filter_count} silently corrupts every synthesized
+    wrapper.  The reference here is the definition itself: enumerate
+    short words and compare [mem (E‖_p^n)] against
+    [mem E ∧ count p = n], then cross-check the boundedness analysis
+    ({!Lang.max_sym_count}, {!Left_filter.bounded_mark_count}) that
+    gates the algorithm. *)
+
+val tests : count:int -> QCheck.Test.t list

@@ -1,0 +1,15 @@
+(** Bounded refutation oracle for maximality (Cor 5.8, Prop 5.7).
+
+    Maximality claims are attacked from both sides:
+
+    - a [Maximal] verdict is challenged by {e bounded refutation}:
+      adjoin every short word missing from a side and demand the
+      extension be ambiguous — Prop 5.7 says a single word extending
+      an unambiguous expression would disprove maximality;
+    - a [Not_maximal_*] verdict must be {e actionable}: its witness
+      word, adjoined per the proof of Prop 5.7, must produce an
+      unambiguous expression strictly above the input in [≼];
+    - the verdict as a whole must coincide with emptiness of the
+      deficiency languages of Cor 5.8. *)
+
+val tests : count:int -> QCheck.Test.t list

@@ -1,0 +1,59 @@
+(* A pair/triple of extraction expressions over one alphabet and mark,
+   for the binary/ternary laws. *)
+let gen_pair =
+  let open QCheck.Gen in
+  let* alpha = Oracle_gen.gen_alphabet in
+  let* mark = int_bound (Alphabet.size alpha - 1) in
+  let* l1 = Oracle_gen.gen_plain_regex ~size:6 alpha in
+  let* r1 = Oracle_gen.gen_plain_regex ~size:6 alpha in
+  let* l2 = Oracle_gen.gen_plain_regex ~size:6 alpha in
+  let* r2 = Oracle_gen.gen_plain_regex ~size:6 alpha in
+  return (Extraction.make alpha l1 mark r1, Extraction.make alpha l2 mark r2)
+
+let arb_pair =
+  QCheck.make gen_pair ~print:(fun (e, f) ->
+      Printf.sprintf "%s  /  %s" (Extraction.to_string e) (Extraction.to_string f))
+
+let tests ~count =
+  [
+    QCheck.Test.make ~count ~name:"≼ is reflexive"
+      (Oracle_gen.arb_extraction_case ())
+      (fun e -> Expr_order.preceq e e);
+    QCheck.Test.make ~count ~name:"≼ is transitive on containment chains"
+      (Oracle_gen.arb_lang3_case ())
+      (fun (alpha, a, b, c) ->
+        (* a ⊆ a|b ⊆ a|b|c holds by construction, so each ≼ premise does *)
+        let mark = 0 in
+        let e1 = Extraction.make alpha a mark a in
+        let e2 =
+          Extraction.make alpha (Regex.alt a b) mark (Regex.alt a b)
+        in
+        let e3 =
+          Extraction.make alpha
+            (Regex.alt_list [ a; b; c ])
+            mark
+            (Regex.alt_list [ a; b; c ])
+        in
+        Expr_order.preceq e1 e2 && Expr_order.preceq e2 e3
+        && Expr_order.preceq e1 e3);
+    QCheck.Test.make ~count ~name:"mutual ≼ = equivalence (antisymmetry)"
+      arb_pair
+      (fun (e, f) ->
+        if Expr_order.preceq e f && Expr_order.preceq f e then
+          Expr_order.equivalent e f
+        else true);
+    QCheck.Test.make ~count ~name:"f ≼ e ⇒ L(f) ⊆ L(e), and equivalent ⇒ same parse"
+      arb_pair
+      (fun (e, f) ->
+        (if Expr_order.preceq f e then
+           Lang.subset (Extraction.language f) (Extraction.language e)
+         else true)
+        && (if Expr_order.equivalent e f then Expr_order.same_parsed_language e f
+            else true));
+    QCheck.Test.make ~count ~name:"strictly_below is irreflexive and asymmetric"
+      arb_pair
+      (fun (e, f) ->
+        (not (Expr_order.strictly_below e e))
+        && (not (Expr_order.strictly_below f f))
+        && not (Expr_order.strictly_below e f && Expr_order.strictly_below f e));
+  ]

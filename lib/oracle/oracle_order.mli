@@ -1,0 +1,10 @@
+(** Partial-order laws for the resilience order [≼] (Defn 4.4).
+
+    [≼] is what "more resilient" {e means} in this system, and
+    {!Synthesis.maximize} promises to move up it; these tests check it
+    is actually a partial order (reflexive, transitive on constructed
+    containment chains, antisymmetric up to language equivalence), that
+    it implies containment of parsed languages, and that
+    [strictly_below] is a strict order compatible with it. *)
+
+val tests : count:int -> QCheck.Test.t list

@@ -1,0 +1,59 @@
+let tests ~count =
+  let langs alpha a b = (Lang.of_regex alpha a, Lang.of_regex alpha b) in
+  [
+    QCheck.Test.make ~count ~name:"w ∈ A/B  ⇔  ({w}·B) ∩ A ≠ ∅"
+      (Oracle_gen.arb_lang2_case ~ext:true ())
+      (fun (alpha, a, b) ->
+        let la, lb = langs alpha a b in
+        let q = Lang.suffix_quotient la lb in
+        Seq.for_all
+          (fun w ->
+            Lang.mem q w
+            = not (Lang.is_empty (Lang.inter (Lang.concat (Lang.word alpha w) lb) la)))
+          (Word.enumerate alpha 3));
+    QCheck.Test.make ~count ~name:"w ∈ B\\A  ⇔  (B·{w}) ∩ A ≠ ∅"
+      (Oracle_gen.arb_lang2_case ~ext:true ())
+      (fun (alpha, a, b) ->
+        let la, lb = langs alpha a b in
+        let q = Lang.prefix_quotient lb la in
+        Seq.for_all
+          (fun w ->
+            Lang.mem q w
+            = not (Lang.is_empty (Lang.inter (Lang.concat lb (Lang.word alpha w)) la)))
+          (Word.enumerate alpha 3));
+    QCheck.Test.make ~count ~name:"reverse duality: (A/B)ʳ = Bʳ\\Aʳ"
+      (Oracle_gen.arb_lang2_case ~ext:true ())
+      (fun (alpha, a, b) ->
+        let la, lb = langs alpha a b in
+        Lang.equal
+          (Lang.reverse (Lang.suffix_quotient la lb))
+          (Lang.prefix_quotient (Lang.reverse lb) (Lang.reverse la)));
+    QCheck.Test.make ~count ~name:"(A·B)/B ⊇ A when B ≠ ∅"
+      (Oracle_gen.arb_lang2_case ())
+      (fun (alpha, a, b) ->
+        let la, lb = langs alpha a b in
+        Lang.is_empty lb
+        || Lang.subset la (Lang.suffix_quotient (Lang.concat la lb) lb));
+    QCheck.Test.make ~count ~name:"B\\(B·A) ⊇ A when B ≠ ∅"
+      (Oracle_gen.arb_lang2_case ())
+      (fun (alpha, a, b) ->
+        let la, lb = langs alpha a b in
+        Lang.is_empty lb
+        || Lang.subset la (Lang.prefix_quotient lb (Lang.concat lb la)));
+    QCheck.Test.make ~count ~name:"quotients by ε are the identity"
+      (Oracle_gen.arb_lang_case ~ext:true ())
+      (fun (alpha, a) ->
+        let la = Lang.of_regex alpha a in
+        let eps = Lang.epsilon alpha in
+        Lang.equal (Lang.suffix_quotient la eps) la
+        && Lang.equal (Lang.prefix_quotient eps la) la);
+    QCheck.Test.make ~count ~name:"A/(B ∪ C) = A/B ∪ A/C"
+      (Oracle_gen.arb_lang3_case ())
+      (fun (alpha, a, b, c) ->
+        let la = Lang.of_regex alpha a in
+        let lb = Lang.of_regex alpha b in
+        let lc = Lang.of_regex alpha c in
+        Lang.equal
+          (Lang.suffix_quotient la (Lang.union lb lc))
+          (Lang.union (Lang.suffix_quotient la lb) (Lang.suffix_quotient la lc)));
+  ]

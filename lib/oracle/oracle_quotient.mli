@@ -1,0 +1,15 @@
+(** Metamorphic laws for the quotient algebra (Def 5.1, Lemma 5.2).
+
+    The ambiguity and maximality procedures are built entirely out of
+    [A / B] and [B \ A]; these tests pin their semantics two ways:
+
+    - {e pointwise}, against the definition — [w ∈ A/B] iff
+      [({w}·B) ∩ A ≠ ∅], computed through concat/inter/emptiness, a
+      disjoint code path from {!Dfa_ops.suffix_quotient}'s
+      final-remarking construction;
+    - {e algebraically}, via identities quantified over random
+      languages: quotient/reverse duality, [(A·B)/B ⊇ A],
+      [B\(B·A) ⊇ A], neutrality of ε, and distribution over unions of
+      the divisor. *)
+
+val tests : count:int -> QCheck.Test.t list

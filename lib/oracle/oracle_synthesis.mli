@@ -1,0 +1,14 @@
+(** Postcondition audit for the §6 synthesis pipeline (Prop 6.5).
+
+    Every output of {!Synthesis.maximize} carries a three-part
+    contract: it is unambiguous, it is maximal (checkable by Cor 5.8),
+    and it generalizes its input in [≼].  Each fuzzed input has the
+    contract re-verified through the {e decision procedures} — which
+    the other oracles independently pin down — closing the loop: if
+    synthesis and the checkers ever disagree, one of them is wrong and
+    the campaign fails.  Maximization is also required to be
+    idempotent, failures must be honest (an [Ambiguous] failure means
+    the input really is ambiguous), and random members of synthesized
+    languages must extract uniquely. *)
+
+val tests : count:int -> QCheck.Test.t list

@@ -1,0 +1,65 @@
+Error paths: every failure must be a diagnostic plus a nonzero exit,
+never a backtrace.
+
+A duplicate symbol makes the alphabet ill-formed:
+
+  $ rexdex check -a p,p 'q <p> q*'
+  error: Alphabet.of_array: duplicate symbol p
+  [2]
+
+An extraction expression needs exactly one mark:
+
+  $ rexdex check -a p,q 'p q*'
+  parse error at offset 0: missing <p> marker
+  [2]
+
+  $ rexdex check -a p,q 'q <p> q <p> q'
+  parse error at offset 3: unexpected character '<'
+  [2]
+
+Marks must name an alphabet symbol:
+
+  $ rexdex extract -a p,q 'q* <z> q' 'q q'
+  parse error at offset 3: unknown marked symbol z
+  [2]
+
+Regex syntax errors are reported, not raised:
+
+  $ rexdex check -a p,q 'q* <p> (q'
+  parse error at offset 3: expected ')'
+  [2]
+
+  $ rexdex dot -a p,q '*q'
+  parse error at offset 0: expected an expression
+  [2]
+
+Learning needs the target marked in every sample:
+
+  $ cat > unmarked.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text"></form>
+  > EOF
+  $ rexdex learn unmarked.html
+  unmarked.html: no data-target element
+  [2]
+
+A corrupt wrapper file is rejected gracefully:
+
+  $ echo 'not a wrapper' > broken.rexdex
+  $ cat > page.html <<'EOF'
+  > <p>anything</p>
+  > EOF
+  $ rexdex apply -w broken.rexdex page.html
+  broken.rexdex: not a rexdex wrapper file (bad magic)
+  [2]
+
+A malformed DTD is a validation-side error:
+
+  $ cat > broken.dtd <<'EOF'
+  > <!ELEMENT catalog (product+
+  > EOF
+  $ cat > doc.xml <<'EOF'
+  > <catalog></catalog>
+  > EOF
+  $ rexdex validate broken.dtd doc.xml
+  broken.dtd: DTD parse error at offset 28: expected )
+  [2]

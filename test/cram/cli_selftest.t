@@ -1,0 +1,24 @@
+The differential-oracle campaign: same seed and budget must produce
+byte-identical reports (no timing, no ambient randomness).
+
+  $ rexdex selftest -n 60 -s 7 > r1.txt
+  $ rexdex selftest -n 60 -s 7 > r2.txt
+  $ cmp r1.txt r2.txt && echo deterministic
+  deterministic
+
+A different seed drives different cases but the same verdict shape:
+
+  $ rexdex selftest -n 60 -s 8 > r3.txt
+  $ head -2 r1.txt
+  rexdex selftest — differential oracle campaign
+  seed 7 · budget 60 cases · 29 oracle tests
+  $ tail -1 r1.txt
+  selftest OK: 58 cases, 0 violations
+  $ tail -1 r3.txt
+  selftest OK: 58 cases, 0 violations
+
+The budget is split evenly across the oracle tests (at least one case
+each), so a tiny run still touches every oracle:
+
+  $ rexdex selftest -n 1 -s 0 | tail -1
+  selftest OK: 29 cases, 0 violations

@@ -1,42 +1,30 @@
 (* Failure injection: the parsers must be total — arbitrary byte soup,
    adversarial HTML shapes, and truncated DTDs may be rejected with
    errors but must never raise unexpected exceptions or hang.  Also the
-   §8 expressiveness-limitation demonstration. *)
+   §8 expressiveness-limitation demonstration.
+
+   The adversarial generators live in Oracle_soup (lib/oracle) so the
+   CLI selftest and this suite share one definition. *)
 
 open Helpers
 
-(* --- random byte soup --- *)
-
-let gen_bytes =
-  QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_bound 300)))
-
-let arb_bytes = QCheck.make ~print:String.escaped gen_bytes
-
-let html_chars =
-  [ '<'; '>'; '/'; '='; '"'; '\''; '!'; '-'; 'a'; 'b'; 'p'; ' '; '\n' ]
-
-let gen_htmlish =
-  QCheck.Gen.(
-    map
-      (fun l -> String.init (List.length l) (List.nth l))
-      (list_size (int_bound 400) (oneofl html_chars)))
-
-let arb_htmlish = QCheck.make ~print:String.escaped gen_htmlish
+(* --- totality under random/adversarial input --- *)
 
 let prop_lexer_total =
-  qtest ~count:500 "Html_lexer.tokenize never raises" arb_bytes (fun s ->
-      match Html_lexer.tokenize s with _ -> true)
+  qtest ~count:500 "Html_lexer.tokenize never raises" Oracle_soup.arb_bytes
+    (fun s -> match Html_lexer.tokenize s with _ -> true)
 
 let prop_lexer_total_htmlish =
-  qtest ~count:500 "tokenizer survives tag-soup" arb_htmlish (fun s ->
-      match Html_lexer.tokenize s with _ -> true)
+  qtest ~count:500 "tokenizer survives tag-soup" Oracle_soup.arb_htmlish
+    (fun s -> match Html_lexer.tokenize s with _ -> true)
 
 let prop_tree_total =
-  qtest ~count:500 "Html_tree.parse never raises" arb_htmlish (fun s ->
-      match Html_tree.parse s with _ -> true)
+  qtest ~count:500 "Html_tree.parse never raises" Oracle_soup.arb_htmlish
+    (fun s -> match Html_tree.parse s with _ -> true)
 
 let prop_tree_serialize_total =
-  qtest ~count:200 "parse ∘ serialize is total and stable" arb_htmlish
+  qtest ~count:200 "parse ∘ serialize is total and stable"
+    Oracle_soup.arb_htmlish
     (fun s ->
       let d1 = Html_tree.parse s in
       let d2 = Html_tree.parse (Html_tree.to_string d1) in
@@ -44,33 +32,24 @@ let prop_tree_serialize_total =
       Html_tree.equal d2 d3)
 
 let prop_dtd_parse_total =
-  qtest ~count:500 "Dtd_parse rejects garbage without raising" arb_bytes
-    (fun s ->
-      match Dtd_parse.parse_result s with Ok _ | Error _ -> true)
-
-let dtd_chars =
-  [ '<'; '>'; '!'; '('; ')'; '|'; ','; '*'; '+'; '?'; '#'; 'E'; 'L'; 'M';
-    'N'; 'T'; 'A'; 'a'; ' ' ]
-
-let gen_dtdish =
-  QCheck.Gen.(
-    map
-      (fun l -> "<!ELEMENT " ^ String.init (List.length l) (List.nth l))
-      (list_size (int_bound 120) (oneofl dtd_chars)))
+  qtest ~count:500 "Dtd_parse rejects garbage without raising"
+    Oracle_soup.arb_bytes
+    (fun s -> match Dtd_parse.parse_result s with Ok _ | Error _ -> true)
 
 let prop_dtd_parse_total_dtdish =
   qtest ~count:500 "Dtd_parse survives truncated declarations"
-    (QCheck.make ~print:String.escaped gen_dtdish)
+    Oracle_soup.arb_dtdish
     (fun s -> match Dtd_parse.parse_result s with Ok _ | Error _ -> true)
 
 let prop_regex_parse_total =
-  qtest ~count:500 "Regex_parse rejects garbage without raising" arb_bytes
+  qtest ~count:500 "Regex_parse rejects garbage without raising"
+    Oracle_soup.arb_bytes
     (fun s ->
       match Regex_parse.parse_result ab_pq s with Ok _ | Error _ -> true)
 
 let prop_wrapper_io_total =
   qtest ~count:300 "Wrapper_io.of_string rejects garbage gracefully"
-    arb_bytes
+    Oracle_soup.arb_bytes
     (fun s -> match Wrapper_io.of_string s with Ok _ | Error _ -> true)
 
 (* Deep nesting must not blow the stack at realistic depths. *)

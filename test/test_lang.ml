@@ -124,6 +124,55 @@ let test_words_upto () =
   let strs = List.map (Word.to_string ab_pq) words in
   Alcotest.(check (list string)) "enumeration" [ "q"; "pq" ] strs
 
+(* Degenerate languages: ∅, {ε}, Σ*.  These hit every early-exit path
+   in the enumeration/sampling code (no live states, final initial
+   state, all states final). *)
+
+let test_edge_empty () =
+  let empty = Lang.empty ab_pq in
+  let rng = Random.State.make [| 1 |] in
+  check_bool "sample ∅ = None" true (Lang.sample empty rng ~max_len:5 = None);
+  check_int "words_upto ∅" 0 (List.length (Lang.words_upto empty 3));
+  check_bool "shortest ∅ = None" true (Lang.shortest empty = None);
+  (* the complement of ∅ contains ε, the shortest word of all *)
+  check_bool "shortest_not_in ∅ = ε" true (Lang.shortest_not_in empty = Some [||])
+
+let test_edge_epsilon () =
+  let eps = Lang.epsilon ab_pq in
+  let rng = Random.State.make [| 1 |] in
+  check_bool "sample {ε} = ε" true (Lang.sample eps rng ~max_len:5 = Some [||]);
+  (* max_len 0 still admits ε itself *)
+  check_bool "sample {ε} with budget 0" true
+    (Lang.sample eps rng ~max_len:0 = Some [||]);
+  check_bool "words_upto {ε} = [ε]" true (Lang.words_upto eps 3 = [ [||] ]);
+  check_bool "shortest_not_in {ε} has length 1" true
+    (match Lang.shortest_not_in eps with
+    | Some w -> Array.length w = 1
+    | None -> false)
+
+let test_edge_universal () =
+  let rng = Random.State.make [| 1 |] in
+  (match Lang.sample sigma_star rng ~max_len:4 with
+  | Some w -> check_bool "sample Σ* within budget" true (Array.length w <= 4)
+  | None -> Alcotest.fail "sample Σ* returned None");
+  (* 1 + 2 + 4 words of length ≤ 2 over a binary alphabet *)
+  check_int "words_upto Σ* counts all words" 7
+    (List.length (Lang.words_upto sigma_star 2));
+  check_bool "shortest Σ* = ε" true (Lang.shortest sigma_star = Some [||]);
+  check_bool "shortest_not_in Σ* = None" true
+    (Lang.shortest_not_in sigma_star = None)
+
+(* A nonempty language whose shortest word exceeds the budget: sample
+   must return None rather than a too-long word (its documented
+   contract — regression for the fallback path). *)
+let test_edge_sample_budget () =
+  let long = l "p p p p p p" in
+  let rng = Random.State.make [| 1 |] in
+  check_bool "sample respects max_len over shortest" true
+    (Lang.sample long rng ~max_len:3 = None);
+  check_bool "sample finds it with enough budget" true
+    (Lang.sample long rng ~max_len:6 = Some (w ab_pq "pppppp"))
+
 (* Lemma 6.3(7): E1 ⊆ E2/(p·Σ^* ) implies E1/(p·Σ^* ) ⊆ E2/(p·Σ^* ). *)
 let prop_lemma_6_3_7 =
   qtest ~count:60 "lemma 6.3(7)" (arb_plain_regex ab_pq) (fun e2 ->
@@ -220,6 +269,14 @@ let () =
         [
           Alcotest.test_case "filtering operator" `Quick test_counting;
           Alcotest.test_case "words_upto" `Quick test_words_upto;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "empty language" `Quick test_edge_empty;
+          Alcotest.test_case "epsilon language" `Quick test_edge_epsilon;
+          Alcotest.test_case "universal language" `Quick test_edge_universal;
+          Alcotest.test_case "sample length budget" `Quick
+            test_edge_sample_budget;
         ] );
       ( "properties",
         [

@@ -1,97 +1,20 @@
-(* Cross-cutting properties tying the layers together: order laws for ≼,
-   sampled-word validation of synthesized wrappers, guided alignment,
-   language sampling, and persistence roundtrips on randomly learned
-   wrappers. *)
+(* Cross-cutting properties tying the layers together.
+
+   The pure language/order/synthesis laws are generated and checked by
+   the differential oracles in lib/oracle — this suite lifts them into
+   alcotest via Helpers.of_oracle so `dune runtest` and `rexdex
+   selftest` exercise the exact same properties with the exact same
+   generators.  Only properties needing the html/learn/wrapper layers
+   (alignment, persistence) remain hand-written here. *)
 
 open Helpers
 
-let p = Alphabet.find_exn ab_pq "p"
-let ex s = Extraction.parse ab_pq s
+(* --- laws checked by the shared oracles (lib/oracle) --- *)
 
-(* --- partial-order laws for ≼ (Defn 4.4) --- *)
-
-let arb_expr =
-  QCheck.map
-    (fun (l, r) -> Extraction.make ab_pq l p r)
-    (QCheck.pair (arb_plain_regex ab_pq) (arb_plain_regex ab_pq))
-
-let prop_preceq_reflexive =
-  qtest ~count:60 "≼ is reflexive" arb_expr (fun e -> Expr_order.preceq e e)
-
-let prop_preceq_transitive =
-  qtest ~count:60 "≼ is transitive on language-ordered triples"
-    (QCheck.triple (arb_plain_regex ab_pq) (arb_plain_regex ab_pq)
-       (arb_plain_regex ab_pq))
-    (fun (a, b, c) ->
-      (* build a ⊆ a|b ⊆ a|b|c chains so the premise holds by construction *)
-      let e1 = Extraction.make ab_pq a p a in
-      let e2 = Extraction.make ab_pq (Regex.alt a b) p (Regex.alt a b) in
-      let e3 =
-        Extraction.make ab_pq
-          (Regex.alt_list [ a; b; c ])
-          p
-          (Regex.alt_list [ a; b; c ])
-      in
-      Expr_order.preceq e1 e2 && Expr_order.preceq e2 e3
-      && Expr_order.preceq e1 e3)
-
-let prop_preceq_antisymmetric =
-  qtest ~count:60 "mutual ≼ = equivalence" (QCheck.pair arb_expr arb_expr)
-    (fun (e1, e2) ->
-      if Expr_order.preceq e1 e2 && Expr_order.preceq e2 e1 then
-        Expr_order.equivalent e1 e2
-      else true)
-
-let prop_preceq_implies_language_containment =
-  qtest ~count:60 "f ≼ e ⇒ L(f) ⊆ L(e)" (QCheck.pair arb_expr arb_expr)
-    (fun (f, e) ->
-      if Expr_order.preceq f e then
-        Lang.subset (Extraction.language f) (Extraction.language e)
-      else true)
-
-(* --- sampled members of synthesized languages extract uniquely --- *)
-
-let arb_bounded_left =
-  let open QCheck.Gen in
-  let pfree = oneofl [ "q"; "q q"; "([^p])*"; "q*"; "(q q)*"; "q | q q" ] in
-  let gen =
-    let* a = pfree and* b = pfree in
-    let* shape = int_bound 2 in
-    return
-      (match shape with
-      | 0 -> a
-      | 1 -> Printf.sprintf "%s p %s" a b
-      | _ -> Printf.sprintf "%s p %s p q" a b)
-  in
-  QCheck.make ~print:Fun.id gen
-
-let prop_sampled_members_extract_uniquely =
-  qtest ~count:40 "random members of maximized languages split uniquely"
-    (QCheck.pair arb_bounded_left QCheck.small_int)
-    (fun (left_str, seed) ->
-      let e = ex (left_str ^ " <p> .*") in
-      match Synthesis.maximize e with
-      | Error _ -> true
-      | Ok (e', _) -> (
-          let rng = Random.State.make [| seed |] in
-          let lang = Extraction.language e' in
-          match Lang.sample lang rng ~max_len:12 with
-          | None -> true
-          | Some word -> (
-              match Extraction.extract e' word with
-              | `Unique _ -> true
-              | `Ambiguous _ | `No_match -> false)))
-
-let prop_sample_is_member =
-  qtest ~count:100 "Lang.sample produces members"
-    (QCheck.pair (arb_plain_regex ab_pqr) QCheck.small_int)
-    (fun (e, seed) ->
-      let l = Lang.of_regex ab_pqr e in
-      let rng = Random.State.make [| seed |] in
-      match Lang.sample l rng ~max_len:10 with
-      | None -> Lang.is_empty l || Lang.shortest l = None
-        || Array.length (Option.get (Lang.shortest l)) > 10
-      | Some w -> Lang.mem l w)
+let order_law_tests = of_oracle ~count:60 Oracle_order.tests
+let membership_tests = of_oracle ~count:100 Oracle_membership.tests
+let synthesis_tests = of_oracle ~count:40 Oracle_synthesis.tests
+let maximality_tests = of_oracle ~count:40 Oracle_maximality.tests
 
 (* --- guided alignment --- *)
 
@@ -132,48 +55,13 @@ let prop_learned_wrappers_roundtrip =
                   Wrapper.extract w test = Wrapper.extract w2 test))
       | _ -> false)
 
-(* --- maximality witnesses are actionable --- *)
-
-let prop_left_witness_extends =
-  qtest ~count:40 "Not_maximal_left witness extends the expression"
-    arb_bounded_left
-    (fun left_str ->
-      let e = ex (left_str ^ " <p> q*") in
-      if Ambiguity.is_ambiguous e then true
-      else
-        match Maximality.check e with
-        | Maximality.Not_maximal_left wrd ->
-            let bigger =
-              Extraction.make ab_pq
-                (Regex.alt e.Extraction.left (Regex.word wrd))
-                p e.Extraction.right
-            in
-            Ambiguity.is_unambiguous bigger
-            && Expr_order.strictly_below e bigger
-        | Maximality.Not_maximal_right wrd ->
-            let bigger =
-              Extraction.make ab_pq e.Extraction.left p
-                (Regex.alt e.Extraction.right (Regex.word wrd))
-            in
-            Ambiguity.is_unambiguous bigger
-            && Expr_order.strictly_below e bigger
-        | Maximality.Maximal | Maximality.Ambiguous_input _ -> true)
-
 let () =
   Alcotest.run "props"
     [
-      ( "order-laws",
-        [
-          prop_preceq_reflexive;
-          prop_preceq_transitive;
-          prop_preceq_antisymmetric;
-          prop_preceq_implies_language_containment;
-        ] );
-      ( "sampling",
-        [
-          prop_sample_is_member;
-          prop_sampled_members_extract_uniquely;
-        ] );
+      ("order-laws", order_law_tests);
+      ("membership", membership_tests);
+      ("synthesis", synthesis_tests);
+      ("maximality", maximality_tests);
       ( "alignment",
         [
           prop_guided_is_common_subsequence;
@@ -181,5 +69,4 @@ let () =
             test_guided_beats_bad_order;
         ] );
       ("persistence", [ prop_learned_wrappers_roundtrip ]);
-      ("witnesses", [ prop_left_witness_extends ]);
     ]
