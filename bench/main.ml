@@ -12,8 +12,12 @@ let ex s = Extraction.parse ab_pq s
 let banner name title =
   Printf.printf "\n===== %s: %s =====\n%!" name title
 
-(* Median-of-k wall-clock timing for the scaling experiments. *)
+(* Median-of-k wall-clock timing for the scaling experiments.  One
+   explicit unsampled warm-up run precedes the samples, so first-touch
+   costs (page faults, lazy allocation, branch-predictor cold start)
+   never land in the first sample and skew small medians. *)
 let time_ms ?(reps = 5) f =
+  ignore (Sys.opaque_identity (f ()));
   let samples =
     List.init reps (fun _ ->
         let t0 = Unix.gettimeofday () in
@@ -400,9 +404,130 @@ let e11 () =
      throughput is flat in the budget because the per-case cost is set by\n\
      expression size, which the generators hold constant.\n"
 
+(* ----- E12: compiled-extraction runtime — cache and multicore batch ----- *)
+
+let e12 () =
+  banner "E12" "runtime layer: cold vs warm cache, multicore batch extraction";
+  (* Decision-procedure corpus: the E2/E3/E4 families at wrapper-like
+     sizes.  Every expression funnels through the shared regex→DFA
+     pipeline, so a warm cache turns the whole sweep into LRU hits. *)
+  let exprs =
+    List.concat
+      [
+        List.map
+          (fun k -> ex (Printf.sprintf "(q p){%d} <p> .*" k))
+          [ 2; 4; 8; 16 ];
+        List.map (fun k -> ex (Printf.sprintf "p* p{%d} <p> p*" k)) [ 2; 4; 8 ];
+        List.map
+          (fun k -> ex (Printf.sprintf "([^p])* <p> (q p){%d} (p | q)*" k))
+          [ 2; 4; 6 ];
+        [ ex "([^p])* p ([^p])* <p> .*"; ex "(q | q q) p <p> .*" ];
+      ]
+  in
+  let run_all () =
+    List.iter
+      (fun e ->
+        ignore (Sys.opaque_identity (Runtime.is_ambiguous e));
+        ignore (Sys.opaque_identity (Runtime.check_maximality e)))
+      exprs
+  in
+  let cold_ms =
+    time_ms ~reps:5 (fun () ->
+        Runtime.reset ();
+        run_all ())
+  in
+  Runtime.reset ();
+  run_all ();
+  (* populate *)
+  let warm_ms = time_ms ~reps:5 run_all in
+  let speedup = cold_ms /. warm_ms in
+  Printf.printf
+    "decision corpus: %d expressions (ambiguity + maximality each)\n"
+    (List.length exprs);
+  Printf.printf "| pipeline | median ms | decisions/s |\n|---|---|---|\n";
+  let dps ms = float_of_int (2 * List.length exprs) /. (ms /. 1000.0) in
+  Printf.printf "| cold (caches reset per run) | %10.2f | %10.0f |\n" cold_ms
+    (dps cold_ms);
+  Printf.printf "| warm (LRU hits)             | %10.2f | %10.0f |\n" warm_ms
+    (dps warm_ms);
+  Printf.printf "| speedup                     | x%.1f | |\n" speedup;
+  (* Batch extraction: one compiled wrapper, many perturbed pages. *)
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let alpha = Wrapper.alphabet_for [ top; bottom ] in
+  let pt = Option.get (Pagegen.target_path top) in
+  let pb = Option.get (Pagegen.target_path bottom) in
+  let batch_rows, identical =
+    match Wrapper.learn ~alpha [ (top, pt); (bottom, pb) ] with
+    | Error e ->
+        Format.printf "LEARNING FAILED: %a@." Wrapper.pp_learn_error e;
+        ([], false)
+    | Ok w ->
+        let rng = Random.State.make [| 12 |] in
+        let docs =
+          List.init 400 (fun i ->
+              Perturb.perturb rng ~intensity:(1 + (i mod 4)) top)
+        in
+        let reference = Wrapper.extract_batch ~jobs:1 w docs in
+        Printf.printf "\nbatch: 400 perturbed pages through one compiled wrapper\n";
+        Printf.printf "| jobs | median ms | pages/s | output = --jobs 1 |\n";
+        Printf.printf "|---|---|---|---|\n";
+        let identical = ref true in
+        let rows =
+          List.map
+            (fun jobs ->
+              let ms =
+                time_ms ~reps:3 (fun () -> Wrapper.extract_batch ~jobs w docs)
+              in
+              let same = Wrapper.extract_batch ~jobs w docs = reference in
+              identical := !identical && same;
+              Printf.printf "| %d | %8.2f | %8.0f | %b |\n" jobs ms
+                (400.0 /. (ms /. 1000.0))
+                same;
+              (jobs, ms, same))
+            [ 1; 2; 4 ]
+        in
+        (rows, !identical)
+  in
+  Printf.printf
+    "shape check: warm >> cold (the cache removes recompilation), and the\n\
+     batch output is invariant in the domain count.\n";
+  (* Machine-readable record for the CI bench-regression gate. *)
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_RUNTIME_JSON")
+      ~default:"BENCH_runtime.json"
+  in
+  let oc = open_out path in
+  let s = Runtime.stats () in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E12\",\n\
+    \  \"corpus_exprs\": %d,\n\
+    \  \"cold_ms\": %.3f,\n\
+    \  \"warm_ms\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"batch_identical\": %b,\n\
+    \  \"batch\": [%s],\n\
+    \  \"cache\": { \"compile_hits\": %d, \"compile_misses\": %d, \"quotient_hits\": %d, \"quotient_misses\": %d }\n\
+     }\n"
+    (List.length exprs) cold_ms warm_ms speedup identical
+    (String.concat ", "
+       (List.map
+          (fun (jobs, ms, same) ->
+            Printf.sprintf "{\"jobs\": %d, \"ms\": %.3f, \"identical\": %b}"
+              jobs ms same)
+          batch_rows))
+    s.Runtime.Stats.compile.Runtime.Stats.hits
+    s.Runtime.Stats.compile.Runtime.Stats.misses
+    s.Runtime.Stats.quotient.Runtime.Stats.hits
+    s.Runtime.Stats.quotient.Runtime.Stats.misses;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12) ]
 
 let () =
   let requested =

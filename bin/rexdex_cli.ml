@@ -51,8 +51,8 @@ let check_cmd =
     handle_errors @@ fun () ->
     let alpha, e = parse_env syms expr_str in
     Format.printf "expression : %a@." Extraction.pp e;
-    if Ambiguity.is_ambiguous e then begin
-      (match Ambiguity.witness e with
+    if Runtime.is_ambiguous e then begin
+      (match Runtime.ambiguity_witness e with
       | Some w ->
           Format.printf "ambiguous  : yes — e.g. %a has multiple splits@."
             (Word.pp alpha) w
@@ -61,7 +61,7 @@ let check_cmd =
     end
     else begin
       Format.printf "ambiguous  : no@.";
-      match Maximality.check e with
+      match Runtime.check_maximality e with
       | Maximality.Maximal -> Format.printf "maximal    : yes@."
       | Maximality.Not_maximal_left w ->
           Format.printf "maximal    : no — left side extensible by %a@."
@@ -81,7 +81,7 @@ let maximize_cmd =
   let run syms expr_str =
     handle_errors @@ fun () ->
     let alpha, e = parse_env syms expr_str in
-    match Synthesis.maximize e with
+    match Runtime.maximize e with
     | Ok (e', strategy) ->
         Format.printf "strategy : %a@." (Synthesis.pp_strategy alpha) strategy;
         Format.printf "result   : %a@." Extraction.pp e'
@@ -255,6 +255,69 @@ let apply_cmd =
   let doc = "apply a saved wrapper to HTML pages" in
   Cmd.v (Cmd.info "apply" ~doc) Term.(const run $ wrapper_arg $ pages_arg)
 
+(* --- batch --- *)
+
+let batch_cmd =
+  let wrapper_arg =
+    let doc = "Wrapper file produced by 'learn --save'." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "w"; "wrapper" ] ~docv:"FILE" ~doc)
+  in
+  let pages_arg =
+    let doc = "HTML pages to extract from." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PAGES" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Number of domains to extract on (0 = one per recommended core).  \
+       Output is identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let cache_size_arg =
+    let doc = "Capacity of the runtime memo caches (entries)." in
+    Arg.(value & opt (some int) None & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print runtime cache statistics to stderr when done." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run wrapper_file pages jobs cache_size stats =
+    handle_errors @@ fun () ->
+    (match cache_size with Some n -> Runtime.set_cache_size n | None -> ());
+    match Wrapper_io.load wrapper_file with
+    | Error e ->
+        Format.eprintf "%s: %s@." wrapper_file e;
+        exit 2
+    | Ok w ->
+        let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
+        let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
+        let results = Wrapper.extract_batch ~jobs w docs in
+        let failures = ref 0 in
+        List.iter2
+          (fun f result ->
+            match result with
+            | Ok path ->
+                Format.printf "%s: target at %s@." f
+                  (String.concat "." (List.map string_of_int path))
+            | Error e ->
+                incr failures;
+                Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
+          pages results;
+        if stats then Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
+        if !failures > 0 then exit 1
+  in
+  let doc =
+    "apply a saved wrapper to many pages at once (compile-once \
+     evaluate-many, multicore)"
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ wrapper_arg $ pages_arg $ jobs_arg $ cache_size_arg
+      $ stats_arg)
+
 (* --- validate (DTD) --- *)
 
 let validate_cmd =
@@ -356,4 +419,4 @@ let () =
   let doc = "resilient data extraction from semistructured sources" in
   let info = Cmd.info "rexdex" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))
+    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; batch_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))

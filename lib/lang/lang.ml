@@ -24,30 +24,80 @@ let empty alpha =
 let sigma_star alpha =
   { alpha; dfa = Dfa.trivial ~alpha_size:(Alphabet.size alpha) true }
 
-let union a b =
-  check_compat a b;
-  { a with dfa = Minimize.minimize (Dfa_ops.union a.dfa b.dfa) }
+(* Every pipeline stage below is memoized through Lang_cache: the key
+   is the operation plus the (canonical minimal) input DFAs, the value
+   the minimized result.  Inputs denoting equal languages are
+   structurally equal here, so the cache unifies them regardless of how
+   they were written. *)
 
-let inter a b =
+let binop stage tag f a b =
   check_compat a b;
-  { a with dfa = Minimize.minimize (Dfa_ops.inter a.dfa b.dfa) }
+  {
+    a with
+    dfa =
+      Lang_cache.cached stage
+        (Lang_cache.K_binop (tag, a.dfa, b.dfa))
+        (fun () -> Minimize.minimize (f a.dfa b.dfa));
+  }
 
-let diff a b =
-  check_compat a b;
-  { a with dfa = Minimize.minimize (Dfa_ops.difference a.dfa b.dfa) }
+let union = binop Lang_cache.Minimize "union" Dfa_ops.union
+let inter = binop Lang_cache.Minimize "inter" Dfa_ops.inter
+let diff = binop Lang_cache.Minimize "diff" Dfa_ops.difference
 
 let concat a b =
   check_compat a b;
-  of_nfa a.alpha (Nfa.concat (Dfa.to_nfa a.dfa) (Dfa.to_nfa b.dfa))
+  {
+    a with
+    dfa =
+      Lang_cache.cached Lang_cache.Determinize
+        (Lang_cache.K_binop ("concat", a.dfa, b.dfa))
+        (fun () ->
+          Minimize.minimize
+            (Determinize.run (Nfa.concat (Dfa.to_nfa a.dfa) (Dfa.to_nfa b.dfa))));
+  }
 
-let star a = of_nfa a.alpha (Nfa.star (Dfa.to_nfa a.dfa))
+let star a =
+  {
+    a with
+    dfa =
+      Lang_cache.cached Lang_cache.Determinize
+        (Lang_cache.K_unop ("star", a.dfa))
+        (fun () ->
+          Minimize.minimize (Determinize.run (Nfa.star (Dfa.to_nfa a.dfa))));
+  }
 
 let complement a =
-  { a with dfa = Minimize.minimize (Dfa.complement a.dfa) }
+  {
+    a with
+    dfa =
+      Lang_cache.cached Lang_cache.Minimize
+        (Lang_cache.K_unop ("compl", a.dfa))
+        (fun () -> Minimize.minimize (Dfa.complement a.dfa));
+  }
 
-let reverse a = { a with dfa = Minimize.minimize (Dfa_ops.reverse a.dfa) }
+let reverse a =
+  {
+    a with
+    dfa =
+      Lang_cache.cached Lang_cache.Determinize
+        (Lang_cache.K_unop ("reverse", a.dfa))
+        (fun () -> Minimize.minimize (Dfa_ops.reverse a.dfa));
+  }
 
+(* The regex front of the pipeline is cached per interned subexpression
+   (Regex_hc), so re-deciding a property of E1⟨p⟩E2 never recompiles
+   either side; the alphabet's names are part of the key because the
+   same AST means different languages over different alphabets. *)
 let rec of_regex alpha (re : Regex.t) : t =
+  let re, id = Regex_hc.intern re in
+  let dfa =
+    Lang_cache.cached Lang_cache.Compile
+      (Lang_cache.K_regex (Alphabet.names alpha, id))
+      (fun () -> (of_regex_uncached alpha re).dfa)
+  in
+  { alpha; dfa }
+
+and of_regex_uncached alpha (re : Regex.t) : t =
   if not (Regex.is_extended re) then of_nfa alpha (Nfa.of_regex alpha re)
   else
     match re with
@@ -76,16 +126,20 @@ let union_list alpha ls = List.fold_left union (empty alpha) ls
 
 let concat_list alpha ls = List.fold_left concat (epsilon alpha) ls
 
-let suffix_quotient a b =
-  check_compat a b;
-  { a with dfa = Minimize.minimize (Dfa_ops.suffix_quotient a.dfa b.dfa) }
+let suffix_quotient =
+  binop Lang_cache.Quotient "suffix-quotient" Dfa_ops.suffix_quotient
 
 let prefix_quotient b a =
-  check_compat a b;
-  { a with dfa = Minimize.minimize (Dfa_ops.prefix_quotient b.dfa a.dfa) }
+  binop Lang_cache.Quotient "prefix-quotient" Dfa_ops.prefix_quotient b a
 
 let filter_count a ~sym n =
-  { a with dfa = Minimize.minimize (Dfa_ops.filter_count a.dfa ~sym n) }
+  {
+    a with
+    dfa =
+      Lang_cache.cached Lang_cache.Quotient
+        (Lang_cache.K_filter (a.dfa, sym, n))
+        (fun () -> Minimize.minimize (Dfa_ops.filter_count a.dfa ~sym n));
+  }
 
 let max_sym_count a ~sym = Dfa_ops.max_sym_count a.dfa ~sym
 

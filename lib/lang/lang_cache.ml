@@ -1,0 +1,74 @@
+type stage = Compile | Determinize | Minimize | Quotient
+
+type key =
+  | K_regex of string list * int
+  | K_unop of string * Dfa.t
+  | K_binop of string * Dfa.t * Dfa.t
+  | K_filter of Dfa.t * int * int
+
+(* Structural equality on keys is exact: Dfa.t is ints/bools/arrays all
+   the way down, and canonical minimal DFAs are structurally equal iff
+   they accept the same language.  Hashtbl.hash's node budget only
+   limits how much of a large delta array feeds the hash — a collision
+   concern, not a correctness one. *)
+
+type counter = { mutable hits : int; mutable misses : int }
+
+let counters =
+  [|
+    { hits = 0; misses = 0 };
+    { hits = 0; misses = 0 };
+    { hits = 0; misses = 0 };
+    { hits = 0; misses = 0 };
+  |]
+
+let counter_of = function
+  | Compile -> counters.(0)
+  | Determinize -> counters.(1)
+  | Minimize -> counters.(2)
+  | Quotient -> counters.(3)
+
+let default_capacity = 4096
+let cache : (key, Dfa.t) Lru.t = Lru.create ~cap:default_capacity
+let enabled_flag = ref true
+let mutex = Mutex.create ()
+
+let cached stage key compute =
+  if not !enabled_flag then compute ()
+  else
+    let c = counter_of stage in
+    match
+      Mutex.protect mutex (fun () ->
+          match Lru.find cache key with
+          | Some v ->
+              c.hits <- c.hits + 1;
+              Some v
+          | None ->
+              c.misses <- c.misses + 1;
+              None)
+    with
+    | Some v -> v
+    | None ->
+        (* compute outside the lock: Compile recurses into the cache *)
+        let v = compute () in
+        Mutex.protect mutex (fun () -> Lru.add cache key v);
+        v
+
+let set_capacity n = Mutex.protect mutex (fun () -> Lru.set_capacity cache n)
+let capacity () = Mutex.protect mutex (fun () -> Lru.capacity cache)
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let counts stage =
+  Mutex.protect mutex (fun () ->
+      let c = counter_of stage in
+      (c.hits, c.misses))
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      Lru.clear cache;
+      Array.iter
+        (fun c ->
+          c.hits <- 0;
+          c.misses <- 0)
+        counters)

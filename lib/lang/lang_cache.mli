@@ -1,0 +1,59 @@
+(** Process-global memo cache over the expensive automata pipeline.
+
+    Every {!Lang} operation that determinizes, minimizes or builds a
+    Def 5.1/6.1 construction is routed through here.  Keys are the
+    {e canonical minimal} input DFAs (plus an operation tag), so two
+    [Lang.t] values denoting the same language — regardless of how they
+    were built — share one cached result; values are the minimized
+    result DFAs.  A single bounded LRU backs all stages, with per-stage
+    hit/miss counters for {!Runtime.Stats}.
+
+    Soundness: every cached function is a deterministic function of its
+    key — the result DFA depends only on the input DFA structures (and
+    the tag), never on the alphabet's symbol {e names}, which the
+    caller's [Lang.t] carries separately.  Cached DFAs are immutable
+    after construction, so sharing them is safe.
+
+    All entry points serialize on one mutex; the cached computation
+    itself runs {e outside} the lock (the regex→language pipeline
+    re-enters the cache recursively). *)
+
+(** Pipeline stage, for stats attribution. *)
+type stage =
+  | Compile  (** regex → NFA → DFA → minimal DFA ({!Lang.of_regex}) *)
+  | Determinize  (** subset constructions: concat, star, reverse *)
+  | Minimize  (** boolean products / complement + minimization *)
+  | Quotient  (** Def 5.1 quotients and the Def 6.1 filter *)
+
+(** Cache key; constructors are exposed so {!Lang} can build them. *)
+type key =
+  | K_regex of string list * int
+      (** alphabet names × interned regex id ({!Regex_hc}) *)
+  | K_unop of string * Dfa.t
+  | K_binop of string * Dfa.t * Dfa.t
+  | K_filter of Dfa.t * int * int  (** DFA, counted symbol, n *)
+
+val cached : stage -> key -> (unit -> Dfa.t) -> Dfa.t
+(** [cached stage key compute] — return the cached DFA for [key], or
+    run [compute], store and return its result.  With the cache
+    disabled, just computes. *)
+
+(** {1 Configuration and introspection} *)
+
+val set_capacity : int -> unit
+(** Bound on the number of cached DFAs (default 4096). *)
+
+val capacity : unit -> int
+
+val set_enabled : bool -> unit
+(** [set_enabled false] makes {!cached} compute unconditionally — used
+    by the differential oracles to compare cached against direct
+    answers, and available as a kill switch. *)
+
+val enabled : unit -> bool
+
+val counts : stage -> int * int
+(** [(hits, misses)] for a stage. *)
+
+val clear : unit -> unit
+(** Drop every cached binding and zero the counters. *)

@@ -17,6 +17,7 @@ let all =
     { name = "maximality"; tests = Oracle_maximality.tests };
     { name = "order-laws"; tests = Oracle_order.tests };
     { name = "synthesis"; tests = Oracle_synthesis.tests };
+    { name = "runtime"; tests = Oracle_runtime.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

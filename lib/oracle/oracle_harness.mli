@@ -19,8 +19,9 @@ type outcome = {
 type suite = { name : string; tests : count:int -> QCheck.Test.t list }
 
 val all : suite list
-(** The seven oracle layers: membership, counting, quotient-laws,
-    ambiguity, maximality, order-laws, synthesis. *)
+(** The eight oracle layers: membership, counting, quotient-laws,
+    ambiguity, maximality, order-laws, synthesis, runtime (the cached
+    pipeline vs. the direct one). *)
 
 val run : seed:int -> budget:int -> suite list -> outcome list
 (** [run ~seed ~budget suites] — [budget] is the total number of fuzz

@@ -1,0 +1,13 @@
+(** Differential oracles for the compiled-extraction runtime.
+
+    The cached pipeline ({!Runtime}, {!Lang_cache}, {!Regex_hc}) claims
+    to be {e observationally identical} to the direct [lib/core] path.
+    These tests check exactly that, on the shared generator corpus
+    ({!Oracle_gen}): each case computes an answer with every cache
+    disabled, then again through the warm caches (twice — the second
+    round is all hits), and demands byte-identical results — booleans,
+    verdict constructors, witness words, and quotient DFAs alike.  Also
+    covers the hash-consing invariants and the batch scheduler's
+    jobs-invariance. *)
+
+val tests : count:int -> QCheck.Test.t list

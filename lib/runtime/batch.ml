@@ -1,0 +1,42 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let chunk_bounds ~jobs n =
+  let jobs = max 1 (min jobs n) in
+  let base = n / jobs and extra = n mod jobs in
+  Array.init jobs (fun c ->
+      let lo = (c * base) + min c extra in
+      let hi = lo + base + if c < extra then 1 else 0 in
+      (lo, hi))
+
+let map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> recommended_jobs ()
+  in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let bounds = chunk_bounds ~jobs n in
+    (* Distinct chunks write distinct indices; Domain.join publishes the
+       writes to the joining domain. *)
+    let work c () =
+      let lo, hi = bounds.(c) in
+      match
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f arr.(i))
+        done
+      with
+      | () -> None
+      | exception e -> Some e
+    in
+    let spawned = Array.init (jobs - 1) (fun c -> Domain.spawn (work (c + 1))) in
+    let own = work 0 () in
+    let joined = Array.map Domain.join spawned in
+    (match own with
+    | Some e -> raise e
+    | None ->
+        Array.iter (function Some e -> raise e | None -> ()) joined);
+    Array.to_list (Array.map Option.get results)
+  end

@@ -1,0 +1,30 @@
+(** Multicore batch execution (compile once, evaluate many).
+
+    A deliberately simple chunked scheduler over OCaml 5 domains: the
+    input list is split into [jobs] contiguous chunks, one domain per
+    chunk, no work stealing.  Extraction cost is near-uniform per
+    document, so static chunking matches dynamic scheduling without any
+    cross-domain synchronization; results come back in input order, so
+    output is bit-identical for every job count.
+
+    The mapped function runs concurrently in several domains — callers
+    pass pure functions over immutable data (compiled matchers, parsed
+    documents).  The {!Runtime}/{!Lang_cache} memo tables are
+    mutex-protected, so even a function that re-enters the cached
+    pipeline is safe, just serialized. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default parallelism. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [List.map f xs], evaluated on up to [jobs]
+    domains.  [jobs] defaults to {!recommended_jobs}; values [<= 1] (in
+    particular on single-core hosts, where the recommendation is 1)
+    fall back to plain sequential [List.map].  If any application
+    raises, the first chunk's exception (in chunk order) is re-raised
+    after all domains are joined. *)
+
+val chunk_bounds : jobs:int -> int -> (int * int) array
+(** [chunk_bounds ~jobs n] — the [(lo, hi)] half-open index ranges the
+    scheduler assigns, exposed for tests: ranges partition [0..n), are
+    contiguous, and differ in size by at most one. *)

@@ -1,0 +1,91 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  mutable cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option; (* most recently used *)
+  mutable last : ('k, 'v) node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~cap =
+  {
+    cap = max 0 cap;
+    table = Hashtbl.create 64;
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_to_cap t =
+  while Hashtbl.length t.table > t.cap do
+    match t.last with
+    | None -> assert false (* nonempty table implies nonempty list *)
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table n.key
+  done
+
+let add t k v =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table k with
+    | Some n ->
+        n.value <- v;
+        unlink t n;
+        push_front t n
+    | None ->
+        let n = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.table k n;
+        push_front t n;
+        evict_to_cap t
+
+let length t = Hashtbl.length t.table
+let capacity t = t.cap
+
+let set_capacity t cap =
+  t.cap <- max 0 cap;
+  evict_to_cap t
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

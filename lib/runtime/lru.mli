@@ -1,0 +1,44 @@
+(** Bounded least-recently-used cache (the runtime memo substrate).
+
+    A polymorphic-key LRU map with O(1) lookup, insertion and eviction,
+    built from a hash table over an intrusive doubly-linked recency
+    list.  Keys are compared with structural equality and hashed with
+    {!Hashtbl.hash}, so any immutable key type without functional or
+    cyclic components works.
+
+    The cache itself is {e not} thread-safe; callers that share one
+    across domains must serialize access (see {!Lang_cache} and
+    {!Runtime}, which hold a mutex around every operation). *)
+
+type ('k, 'v) t
+
+val create : cap:int -> ('k, 'v) t
+(** [create ~cap] — an empty cache holding at most [cap] bindings.
+    [cap <= 0] gives a cache that stores nothing (every {!find} misses),
+    which is how caching is disabled without touching call sites. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit moves the binding to the front of the recency list
+    and increments the hit counter, a miss increments the miss
+    counter. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, making the binding most recent; evicts from the
+    least-recent end until the capacity bound holds. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching recency or the counters. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+val set_capacity : ('k, 'v) t -> int -> unit
+(** Resize; shrinking evicts least-recent bindings immediately. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every binding.  Counters are preserved ({!reset_stats} clears
+    them). *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val reset_stats : ('k, 'v) t -> unit

@@ -1,0 +1,140 @@
+module Stats = struct
+  type counter = { hits : int; misses : int }
+
+  type t = {
+    intern : counter;
+    compile : counter;
+    determinize : counter;
+    minimize : counter;
+    quotient : counter;
+    decision : counter;
+  }
+
+  let pp ppf t =
+    let row name c =
+      Format.fprintf ppf "  %-12s %8d hits %8d misses@." name c.hits c.misses
+    in
+    Format.fprintf ppf "runtime cache stats:@.";
+    row "intern" t.intern;
+    row "compile" t.compile;
+    row "determinize" t.determinize;
+    row "minimize" t.minimize;
+    row "quotient" t.quotient;
+    row "decision" t.decision
+end
+
+(* --- verdict cache --- *)
+
+type decision_key = {
+  names : string list;
+  left : int; (* interned regex ids *)
+  mark : int;
+  right : int;
+  op : string;
+}
+
+type decision_value =
+  | D_bool of bool
+  | D_witness of Word.t option
+  | D_verdict of Maximality.verdict
+  | D_maximize of (Extraction.t * Synthesis.strategy, Synthesis.failure) result
+
+let decisions : (decision_key, decision_value) Lru.t = Lru.create ~cap:4096
+let decision_hits = ref 0
+let decision_misses = ref 0
+let mutex = Mutex.create ()
+
+let decision_key (e : Extraction.t) op =
+  let _, left = Regex_hc.intern e.Extraction.left in
+  let _, right = Regex_hc.intern e.Extraction.right in
+  {
+    names = Alphabet.names e.Extraction.alpha;
+    left;
+    mark = e.Extraction.mark;
+    right;
+    op;
+  }
+
+let decide e op compute =
+  if not (Lang_cache.enabled ()) then compute ()
+  else
+    let key = decision_key e op in
+    match
+      Mutex.protect mutex (fun () ->
+          match Lru.find decisions key with
+          | Some v ->
+              incr decision_hits;
+              Some v
+          | None ->
+              incr decision_misses;
+              None)
+    with
+    | Some v -> v
+    | None ->
+        let v = compute () in
+        Mutex.protect mutex (fun () -> Lru.add decisions key v);
+        v
+
+(* --- configuration --- *)
+
+let stats () =
+  let c (h, m) : Stats.counter = { hits = h; misses = m } in
+  {
+    Stats.intern = c (Regex_hc.stats ());
+    compile = c (Lang_cache.counts Lang_cache.Compile);
+    determinize = c (Lang_cache.counts Lang_cache.Determinize);
+    minimize = c (Lang_cache.counts Lang_cache.Minimize);
+    quotient = c (Lang_cache.counts Lang_cache.Quotient);
+    decision =
+      c
+        (Mutex.protect mutex (fun () -> (!decision_hits, !decision_misses)));
+  }
+
+let set_cache_size n =
+  Lang_cache.set_capacity n;
+  Mutex.protect mutex (fun () -> Lru.set_capacity decisions n)
+
+let cache_size () = Lang_cache.capacity ()
+let set_enabled = Lang_cache.set_enabled
+let enabled = Lang_cache.enabled
+
+let reset () =
+  Lang_cache.clear ();
+  Regex_hc.reset ();
+  Mutex.protect mutex (fun () ->
+      Lru.clear decisions;
+      decision_hits := 0;
+      decision_misses := 0)
+
+(* --- cached pipeline --- *)
+
+let intern = Regex_hc.intern_node
+let lang_of_regex = Lang.of_regex
+let left_lang (e : Extraction.t) = lang_of_regex e.Extraction.alpha e.Extraction.left
+let right_lang (e : Extraction.t) = lang_of_regex e.Extraction.alpha e.Extraction.right
+
+(* --- cached decision procedures --- *)
+
+let expect_bool = function D_bool b -> b | _ -> assert false
+
+let is_ambiguous e =
+  expect_bool (decide e "ambiguous" (fun () -> D_bool (Ambiguity.is_ambiguous e)))
+
+let is_unambiguous e = not (is_ambiguous e)
+
+let ambiguity_witness e =
+  match decide e "witness" (fun () -> D_witness (Ambiguity.witness e)) with
+  | D_witness w -> w
+  | _ -> assert false
+
+let check_maximality e =
+  match decide e "maximality" (fun () -> D_verdict (Maximality.check e)) with
+  | D_verdict v -> v
+  | _ -> assert false
+
+let is_maximal e = check_maximality e = Maximality.Maximal
+
+let maximize e =
+  match decide e "maximize" (fun () -> D_maximize (Synthesis.maximize e)) with
+  | D_maximize r -> r
+  | _ -> assert false

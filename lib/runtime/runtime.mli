@@ -1,0 +1,86 @@
+(** The compiled-extraction runtime: one compilation, many evaluations.
+
+    The §5–§6 decision procedures (ambiguity per Prop 5.4, maximality
+    per Cor 5.8, maximization per Algorithm 6.2) all funnel through the
+    same regex → NFA → DFA pipeline; this module is the front door to
+    the memoized version of that pipeline:
+
+    - expressions are {e hash-consed} ({!Regex_hc}), so structurally
+      equal regexes share one node and one compiled automaton;
+    - the pipeline stages — determinization, minimization, and the
+      Def 5.1 quotient constructions — are cached in a bounded LRU
+      ({!Lang_cache}), shared by every [Lang] call site in [lib/core];
+    - whole decision {e verdicts} are cached here, keyed by the
+      interned sides of the extraction expression.
+
+    Answers are observationally identical to the direct [lib/core]
+    path — the [lib/oracle] campaign cross-checks this property —
+    because every cached stage is a deterministic function of its key
+    and all cached values are immutable.  All state is process-global
+    and mutex-protected; see {!Batch} for running extraction over many
+    documents in parallel. *)
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type counter = { hits : int; misses : int }
+
+  type t = {
+    intern : counter;  (** hash-consing table lookups *)
+    compile : counter;  (** regex → minimal DFA ({!Lang.of_regex}) *)
+    determinize : counter;  (** concat / star / reverse *)
+    minimize : counter;  (** boolean products + minimization *)
+    quotient : counter;  (** Def 5.1 quotients, Def 6.1 filters *)
+    decision : counter;  (** whole ambiguity/maximality/maximize verdicts *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val stats : unit -> Stats.t
+
+(** {1 Configuration} *)
+
+val set_cache_size : int -> unit
+(** Capacity of the pipeline LRU and of the verdict LRU (each holds at
+    most this many entries).  Default 4096. *)
+
+val cache_size : unit -> int
+
+val set_enabled : bool -> unit
+(** Disable/enable memoization globally (hash-consing stays on; it is
+    semantics-free).  Used by the differential oracles. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Empty every cache and zero every counter — the "cold" state of the
+    E12 benchmark. *)
+
+(** {1 Hash-consing} *)
+
+val intern : Regex.t -> Regex.t
+(** The canonical node structurally equal to the argument. *)
+
+(** {1 The cached pipeline} *)
+
+val lang_of_regex : Alphabet.t -> Regex.t -> Lang.t
+(** Compile through the cache (this is [Lang.of_regex]; exposed here so
+    runtime users need not know where the cache lives). *)
+
+val left_lang : Extraction.t -> Lang.t
+val right_lang : Extraction.t -> Lang.t
+
+(** {1 Cached decision procedures}
+
+    Same contracts as their [lib/core] counterparts. *)
+
+val is_ambiguous : Extraction.t -> bool
+val is_unambiguous : Extraction.t -> bool
+val ambiguity_witness : Extraction.t -> Word.t option
+val check_maximality : Extraction.t -> Maximality.verdict
+val is_maximal : Extraction.t -> bool
+
+val maximize :
+  Extraction.t ->
+  (Extraction.t * Synthesis.strategy, Synthesis.failure) result

@@ -53,14 +53,17 @@ let learn ?(maximize = true) ?(abs = Abstraction.Tags) ?alpha samples =
       let examples =
         List.map (fun s -> (s.Merge.word, s.Merge.mark_pos)) marked
       in
+      (* Decision procedures go through the Runtime verdict cache:
+         learning several wrappers over one page family re-decides the
+         same merged expressions. *)
       let merged =
-        if Ambiguity.is_unambiguous merged then Ok merged
+        if Runtime.is_unambiguous merged then Ok merged
         else
           match Disambiguate.run merged examples with
           | Disambiguate.Disambiguated (e, _) -> Ok e
           | Disambiguate.Already_unambiguous -> Ok merged
           | Disambiguate.Gave_up ->
-              Error (Ambiguous_merge (Ambiguity.witness merged))
+              Error (Ambiguous_merge (Runtime.ambiguity_witness merged))
       in
       match merged with
       | Error e -> Error e
@@ -75,7 +78,7 @@ let learn ?(maximize = true) ?(abs = Abstraction.Tags) ?alpha samples =
                 strategy = None;
               }
           else (
-            match Synthesis.maximize merged with
+            match Runtime.maximize merged with
             | Ok (expr, strategy) ->
                 Ok
                   {
@@ -105,8 +108,20 @@ let extract_pos t word =
   | `No_match -> Error No_match
   | `Ambiguous l -> Error (Ambiguous_on_page l)
 
-let extract t doc =
-  match Tag_seq.of_doc_indexed ~abs:t.abs t.alpha doc with
+(* Compiled form: the immutable subset of a wrapper that per-document
+   extraction needs.  Matcher DFAs and the alphabet are never mutated
+   after construction, so one [compiled] value is shared read-only by
+   every domain of a batch run. *)
+type compiled = {
+  c_alpha : Alphabet.t;
+  c_abs : Abstraction.t;
+  c_matcher : Extraction.matcher;
+}
+
+let compile t = { c_alpha = t.alpha; c_abs = t.abs; c_matcher = t.matcher }
+
+let extract_compiled c doc =
+  match Tag_seq.of_doc_indexed ~abs:c.c_abs c.c_alpha doc with
   | exception Invalid_argument msg ->
       (* "Tag_seq: tag not in alphabet: X" — X may itself contain ':'
          under refined abstractions, so split on the known prefix. *)
@@ -120,8 +135,15 @@ let extract t doc =
       in
       Error (Unknown_tag tag)
   | word, origins -> (
-      match extract_pos t word with
-      | Error e -> Error e
-      | Ok i -> (
+      match Extraction.matcher_extract c.c_matcher word with
+      | `No_match -> Error No_match
+      | `Ambiguous l -> Error (Ambiguous_on_page l)
+      | `Unique i -> (
           match origins.(i) with
           | Tag_seq.Open_of path | Tag_seq.Close_of path -> Ok path))
+
+let extract t doc = extract_compiled (compile t) doc
+
+let extract_batch ?jobs t docs =
+  let c = compile t in
+  Batch.map ?jobs (extract_compiled c) docs

@@ -48,3 +48,29 @@ val extract : t -> Html_tree.doc -> (Html_tree.path, extract_error) result
 
 val extract_pos : t -> Word.t -> (int, extract_error) result
 (** Sequence-level extraction (used by the resilience harness). *)
+
+(** {1 Compile once, evaluate many}
+
+    The document-spanner split: {!compile} freezes a wrapper into an
+    immutable matcher table, after which {!extract_compiled} is a pure
+    function of the document — safe to run concurrently from many
+    domains. *)
+
+type compiled
+(** Immutable: the alphabet, the abstraction, and the matcher DFAs. *)
+
+val compile : t -> compiled
+
+val extract_compiled :
+  compiled -> Html_tree.doc -> (Html_tree.path, extract_error) result
+(** Same contract as {!extract}. *)
+
+val extract_batch :
+  ?jobs:int ->
+  t ->
+  Html_tree.doc list ->
+  (Html_tree.path, extract_error) result list
+(** Extract from every document, in input order, across up to [jobs]
+    domains ({!Batch.map}; default {!Batch.recommended_jobs}, with a
+    sequential fallback when that is 1).  The result list is identical
+    for every [jobs] value. *)

@@ -1,0 +1,54 @@
+Batch extraction: compile the wrapper once, evaluate over many pages,
+with output independent of the number of domains.
+
+  $ cat > sample1.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text" data-target="1"><input type="radio"></form>
+  > EOF
+  $ cat > sample2.html <<'EOF'
+  > <table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input type="image"><input type="text" data-target="1"><input type="radio"></form></td></tr></table>
+  > EOF
+  $ rexdex learn sample1.html sample2.html --save w.rexdex | tail -1
+  saved     : w.rexdex
+
+Deterministically perturbed variants give the batch something to chew on:
+
+  $ rexdex perturb sample1.html -n 1 --seed 3 > v1.html
+  $ rexdex perturb sample2.html -n 1 --seed 4 > v2.html
+  $ rexdex perturb sample1.html -n 1 --seed 5 > v3.html
+
+Sequential and multicore runs produce byte-identical output, in input
+order:
+
+  $ rexdex batch -w w.rexdex --jobs 1 sample1.html sample2.html v1.html v2.html v3.html > j1.txt
+  $ rexdex batch -w w.rexdex --jobs 4 sample1.html sample2.html v1.html v2.html v3.html > j4.txt
+  $ cmp j1.txt j4.txt && echo identical
+  identical
+  $ cat j1.txt
+  sample1.html: target at 2.1
+  sample2.html: target at 0.1.0.0.1
+  v1.html: target at 2.1
+  v2.html: target at 0.0.0.0.1.0.0.1
+  v3.html: target at 2.0.1
+
+So does the default (one domain per recommended core), and --stats
+reports the cache counters on stderr without touching stdout:
+
+  $ rexdex batch -w w.rexdex --cache-size 256 --stats sample1.html 2> stats.txt
+  sample1.html: target at 2.1
+  $ grep -c "hits" stats.txt > /dev/null && echo has-stats
+  has-stats
+
+Error paths: a corrupt wrapper file is rejected, and a page the
+wrapper cannot match fails with exit 1:
+
+  $ echo garbage > bad.rexdex
+  $ rexdex batch -w bad.rexdex sample1.html
+  bad.rexdex: not a rexdex wrapper file (bad magic)
+  [2]
+  $ cat > empty.html <<'EOF'
+  > <p>nothing here</p>
+  > EOF
+  $ rexdex batch -w w.rexdex --jobs 2 sample1.html empty.html
+  sample1.html: target at 2.1
+  empty.html: no match on page
+  [1]

@@ -1,0 +1,218 @@
+(* Tests for the compiled-extraction runtime: the LRU kernel, regex
+   hash-consing, the memoized pipeline's observational transparency,
+   and the chunked multicore batch executor. *)
+
+open Helpers
+
+let ex s = Extraction.parse ab_pq s
+
+(* --- Lru kernel --- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~cap:2 in
+  check_bool "miss on empty" true (Lru.find c "a" = None);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_bool "hit a" true (Lru.find c "a" = Some 1);
+  (* "b" is now least-recent; adding "c" evicts it *)
+  Lru.add c "c" 3;
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a kept" true (Lru.find c "a" = Some 1);
+  check_bool "c kept" true (Lru.find c "c" = Some 3);
+  check_int "length" 2 (Lru.length c);
+  check_int "hits" 3 (Lru.hits c);
+  check_int "misses" 2 (Lru.misses c)
+
+let test_lru_replace_and_resize () =
+  let c = Lru.create ~cap:3 in
+  Lru.add c 1 "one";
+  Lru.add c 2 "two";
+  Lru.add c 1 "uno";
+  check_bool "replace keeps one binding" true (Lru.length c = 2);
+  check_bool "replaced value" true (Lru.find c 1 = Some "uno");
+  Lru.add c 3 "three";
+  (* recency now: 3, 1, 2 — shrinking to 1 keeps only 3 *)
+  Lru.set_capacity c 1;
+  check_int "shrunk" 1 (Lru.length c);
+  check_bool "most recent survives" true (Lru.mem c 3);
+  Lru.set_capacity c 0;
+  check_int "cap 0 empties" 0 (Lru.length c);
+  Lru.add c 9 "nine";
+  check_int "cap 0 stores nothing" 0 (Lru.length c)
+
+let test_lru_clear () =
+  let c = Lru.create ~cap:4 in
+  Lru.add c 1 1;
+  ignore (Lru.find c 1);
+  Lru.clear c;
+  check_int "cleared" 0 (Lru.length c);
+  check_int "stats survive clear" 1 (Lru.hits c);
+  Lru.reset_stats c;
+  check_int "stats reset" 0 (Lru.hits c)
+
+(* --- hash-consing --- *)
+
+let test_intern_sharing () =
+  (* Two separately parsed copies are structurally equal, hence share
+     one canonical node after interning. *)
+  let a = rx ab_pq "(q p)* q" in
+  let b = rx ab_pq "(q p)* q" in
+  check_bool "distinct parses" true (Regex.equal a b);
+  check_bool "interned nodes are physically shared" true
+    (Runtime.intern a == Runtime.intern b);
+  check_bool "intern is structure-preserving" true
+    (Regex.equal (Runtime.intern a) a)
+
+(* --- cached pipeline transparency --- *)
+
+let with_uncached f =
+  Runtime.set_enabled false;
+  Fun.protect ~finally:(fun () -> Runtime.set_enabled true) f
+
+let test_cached_equals_direct () =
+  let cases =
+    [ "([^p])* <p> .*"; "q p <p> .*"; "p* <p> p*"; "(q p){3} <p> .*" ]
+  in
+  List.iter
+    (fun s ->
+      let e = ex s in
+      let direct_amb = with_uncached (fun () -> Ambiguity.is_ambiguous e) in
+      let direct_max = with_uncached (fun () -> Maximality.check e) in
+      check_bool (s ^ ": ambiguity") direct_amb (Runtime.is_ambiguous e);
+      check_bool (s ^ ": ambiguity (cache hit)") direct_amb
+        (Runtime.is_ambiguous e);
+      check_bool (s ^ ": maximality") true
+        (direct_max = Runtime.check_maximality e))
+    cases
+
+let test_stats_move () =
+  Runtime.reset ();
+  let e = ex "(q p){2} <p> .*" in
+  ignore (Runtime.is_ambiguous e);
+  let s1 = Runtime.stats () in
+  check_bool "first decision misses" true (s1.Runtime.Stats.decision.misses >= 1);
+  ignore (Runtime.is_ambiguous e);
+  let s2 = Runtime.stats () in
+  check_bool "second decision hits" true
+    (s2.Runtime.Stats.decision.hits > s1.Runtime.Stats.decision.hits);
+  check_bool "pipeline compile counted" true
+    (s2.Runtime.Stats.compile.misses > 0);
+  Runtime.reset ();
+  let s3 = Runtime.stats () in
+  check_int "reset zeroes hits" 0 s3.Runtime.Stats.decision.hits;
+  check_int "reset zeroes compile" 0 s3.Runtime.Stats.compile.misses
+
+let test_cache_size_config () =
+  let before = Runtime.cache_size () in
+  Runtime.set_cache_size 17;
+  check_int "configured" 17 (Runtime.cache_size ());
+  Runtime.set_cache_size before;
+  check_int "restored" before (Runtime.cache_size ())
+
+(* --- batch executor --- *)
+
+let test_chunk_bounds () =
+  List.iter
+    (fun (jobs, n) ->
+      let bounds = Batch.chunk_bounds ~jobs n in
+      let covered = ref 0 in
+      Array.iteri
+        (fun i (lo, hi) ->
+          check_bool "ordered" true (lo <= hi);
+          if i > 0 then
+            check_int "contiguous" (snd bounds.(i - 1)) lo;
+          covered := !covered + (hi - lo))
+        bounds;
+      check_int (Printf.sprintf "jobs=%d n=%d partitions" jobs n) n !covered;
+      let sizes = Array.map (fun (lo, hi) -> hi - lo) bounds in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      check_bool "balanced" true (mx - mn <= 1))
+    [ (1, 10); (3, 10); (4, 4); (4, 3); (7, 100) ]
+
+let test_batch_map () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * x) - 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d" jobs)
+        true
+        (Batch.map ~jobs f xs = expect))
+    [ 1; 2; 3; 8; 64 ];
+  check_bool "empty list" true (Batch.map ~jobs:4 f [] = []);
+  check_bool "default jobs" true (Batch.map f xs = expect)
+
+let test_batch_exception () =
+  match Batch.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x)
+          (List.init 9 Fun.id)
+  with
+  | exception Failure msg -> check_string "exception propagates" "boom" msg
+  | _ -> Alcotest.fail "expected the worker's exception to re-raise"
+
+(* --- wrapper batch --- *)
+
+let test_extract_batch_matches_extract () =
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let alpha = Wrapper.alphabet_for [ top; bottom ] in
+  let pt = Option.get (Pagegen.target_path top) in
+  let pb = Option.get (Pagegen.target_path bottom) in
+  match Wrapper.learn ~alpha [ (top, pt); (bottom, pb) ] with
+  | Error e -> Alcotest.failf "learn failed: %a" Wrapper.pp_learn_error e
+  | Ok w ->
+      let rng = Random.State.make [| 5 |] in
+      let docs =
+        top :: bottom :: List.init 30 (fun _ -> Perturb.perturb rng ~intensity:2 top)
+      in
+      let seq = List.map (Wrapper.extract w) docs in
+      List.iter
+        (fun jobs ->
+          check_bool
+            (Printf.sprintf "batch jobs=%d ≡ sequential extract" jobs)
+            true
+            (Wrapper.extract_batch ~jobs w docs = seq))
+        [ 1; 2; 4 ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "find/add/evict order" `Quick test_lru_basic;
+          Alcotest.test_case "replace and resize" `Quick
+            test_lru_replace_and_resize;
+          Alcotest.test_case "clear and stats" `Quick test_lru_clear;
+        ] );
+      ( "hash-consing",
+        [ Alcotest.test_case "physical sharing" `Quick test_intern_sharing ] );
+      ( "cached-pipeline",
+        [
+          Alcotest.test_case "cached ≡ direct" `Quick test_cached_equals_direct;
+          Alcotest.test_case "stats counters move" `Quick test_stats_move;
+          Alcotest.test_case "cache-size config" `Quick test_cache_size_config;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "chunk bounds partition" `Quick test_chunk_bounds;
+          Alcotest.test_case "map ≡ List.map" `Quick test_batch_map;
+          Alcotest.test_case "exceptions re-raise" `Quick test_batch_exception;
+          Alcotest.test_case "wrapper extract_batch" `Quick
+            test_extract_batch_matches_extract;
+        ] );
+      ( "oracle",
+        [
+          (* the full differential suite, seeded like every other suite *)
+          ( "runtime oracles",
+            `Quick,
+            fun () ->
+              ignore
+                (List.map
+                   (fun t ->
+                     QCheck.Test.check_exn
+                       ~rand:(Random.State.make [| qcheck_seed |])
+                       t)
+                   (Oracle_runtime.tests ~count:40)) );
+        ] );
+    ]
