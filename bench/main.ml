@@ -524,10 +524,108 @@ let e12 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E13: budgeted verdicts on the blow-up family (guard layer) ----- *)
+
+let e13 () =
+  banner "E13" "budgeted execution under the Thm 5.12 blow-up (lib/guard)";
+  Printf.printf
+    "same hard family as E3: maximality of ([^p])* <p> (p|q)* q (p|q){k} is\n\
+     universality of a 2^(k+1)-state DFA.  Unbounded cost doubles with k;\n\
+     a fuel budget caps the work at O(fuel) and converts overruns into\n\
+     UNKNOWN verdicts instead of stalls.  In-budget verdicts are exact.\n\n";
+  (* The process-global Lang_cache memoizes the whole automata pipeline
+     structurally, so a warm run is nearly free and spends no fuel.
+     Every run here starts from a cleared cache and a fresh parse: each
+     one pays the full construction cost the budget is meant to meter. *)
+  let hard k =
+    Lang_cache.clear ();
+    ex
+      (Printf.sprintf "([^p])* <p> (p | q)* q %s"
+         (String.concat " " (List.init k (fun _ -> "(p | q)"))))
+  in
+  let fuel = 1_000_000 in
+  Printf.printf "| k | unbounded ms | budgeted ms (fuel %d) | verdict | spent |\n"
+    fuel;
+  Printf.printf "|---|---|---|---|---|\n";
+  let rows =
+    List.map
+      (fun k ->
+        (* past k=8 the unbounded run takes seconds-to-minutes: skip
+           it, that is the point of the budget *)
+        let unbounded_ms =
+          if k <= 8 then
+            Some (time_ms ~reps:3 (fun () -> Maximality.check (hard k)))
+          else None
+        in
+        let budgeted_ms =
+          time_ms ~reps:3 (fun () ->
+              Maximality.check_bounded
+                ~budget:(Guard.Budget.make ~fuel ())
+                (hard k))
+        in
+        let b = Guard.Budget.make ~fuel () in
+        let outcome = Guard.capture b (fun () -> Maximality.check (hard k)) in
+        let verdict, spent, exact =
+          match outcome with
+          | Guard.Decided v ->
+              ( Printf.sprintf "Decided %b" (v = Maximality.Maximal),
+                Guard.Budget.spent b,
+                (* in-budget answers must be bit-identical to unbounded *)
+                Some (Guard.Decided (Maximality.check (hard k)) = outcome) )
+          | Guard.Unknown r ->
+              (Printf.sprintf "UNKNOWN(%s)" r.Guard.stage, r.Guard.spent, None)
+        in
+        Printf.printf "| %2d | %s | %9.3f | %-14s | %7d |\n" k
+          (match unbounded_ms with
+          | Some ms -> Printf.sprintf "%9.3f" ms
+          | None -> "        -")
+          budgeted_ms verdict spent;
+        (k, unbounded_ms, budgeted_ms, verdict, spent, exact))
+      [ 2; 4; 6; 8; 10; 12 ]
+  in
+  let all_exact =
+    List.for_all
+      (fun (_, _, _, _, _, exact) -> exact <> Some false)
+      rows
+  in
+  Printf.printf
+    "\nshape check: once the fuel cap binds (k >= 10) the budgeted run stops\n\
+     in bounded time with UNKNOWN while the unbounded cost keeps multiplying\n\
+     toward minutes; every in-budget verdict matched the unbounded\n\
+     procedure (%b).\n"
+    all_exact;
+  (* Machine-readable record for the CI timeout-regression gate. *)
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_GUARD_JSON") ~default:"BENCH_guard.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E13\",\n\
+    \  \"fuel\": %d,\n\
+    \  \"in_budget_exact\": %b,\n\
+    \  \"rows\": [%s]\n\
+     }\n"
+    fuel all_exact
+    (String.concat ", "
+       (List.map
+          (fun (k, unbounded_ms, budgeted_ms, verdict, spent, _) ->
+            Printf.sprintf
+              "{\"k\": %d, \"unbounded_ms\": %s, \"budgeted_ms\": %.3f, \
+               \"verdict\": \"%s\", \"spent\": %d}"
+              k
+              (match unbounded_ms with
+              | Some ms -> Printf.sprintf "%.3f" ms
+              | None -> "null")
+              budgeted_ms verdict spent)
+          rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12) ]
+    ("E12", e12); ("E13", e13) ]
 
 let () =
   let requested =

@@ -35,6 +35,40 @@ let parse_env syms expr_str =
   let alpha = Alphabet.make syms in
   (alpha, Extraction.parse alpha expr_str)
 
+(* --- budget arguments (check, batch) ---
+
+   Thm 5.12 makes the maximality test PSPACE-complete, so `check` and
+   `batch` accept an explicit work bound: --fuel charges one unit per
+   DFA state constructed, --deadline-ms bounds wall-clock time, and
+   --retries escalates the fuel (doubling) before giving up.  An
+   out-of-budget decision prints the machine-readable
+   UNKNOWN(<stage>,<spent>) form and exits with code 3 — distinct from
+   both a negative verdict (1) and a usage error (2). *)
+
+let exit_unknown = 3
+
+let fuel_arg =
+  let doc =
+    "Fuel budget: the number of DFA states the decision procedures may \
+     construct before answering UNKNOWN (Thm 5.12 makes unbounded runs \
+     PSPACE-hard)."
+  in
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock deadline per decision (per batch item), in ms." in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Escalation retries: re-run an exhausted decision with doubled fuel \
+     this many times before reporting UNKNOWN."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let budget_steps ~fuel ~retries =
+  Guard.escalation_steps ~fuel:(Option.value fuel ~default:max_int) ~retries
+
 let handle_errors f =
   try f () with
   | Regex_parse.Parse_error (msg, pos) ->
@@ -47,12 +81,26 @@ let handle_errors f =
 (* --- check --- *)
 
 let check_cmd =
-  let run syms expr_str =
+  let run syms expr_str fuel deadline_ms retries =
     handle_errors @@ fun () ->
     let alpha, e = parse_env syms expr_str in
     Format.printf "expression : %a@." Extraction.pp e;
-    if Runtime.is_ambiguous e then begin
-      (match Runtime.ambiguity_witness e with
+    (* [decide name f]: unbudgeted when no bound was requested (the
+       historical, total-for-in-budget-inputs path); otherwise the
+       escalating budgeted path, reporting UNKNOWN on exhaustion. *)
+    let bounded = fuel <> None || deadline_ms <> None in
+    let decide name f =
+      if not bounded then f ()
+      else
+        let steps = budget_steps ~fuel ~retries in
+        match Guard.with_escalation ~steps ?deadline_ms f with
+        | Guard.Decided v -> v
+        | Guard.Unknown r ->
+            Format.printf "%-11s: %s@." name (Guard.reason_to_string r);
+            exit exit_unknown
+    in
+    if decide "ambiguous" (fun () -> Runtime.is_ambiguous e) then begin
+      (match decide "witness" (fun () -> Runtime.ambiguity_witness e) with
       | Some w ->
           Format.printf "ambiguous  : yes — e.g. %a has multiple splits@."
             (Word.pp alpha) w
@@ -61,7 +109,7 @@ let check_cmd =
     end
     else begin
       Format.printf "ambiguous  : no@.";
-      match Runtime.check_maximality e with
+      match decide "maximal" (fun () -> Runtime.check_maximality e) with
       | Maximality.Maximal -> Format.printf "maximal    : yes@."
       | Maximality.Not_maximal_left w ->
           Format.printf "maximal    : no — left side extensible by %a@."
@@ -73,7 +121,10 @@ let check_cmd =
     end
   in
   let doc = "decide ambiguity (Prop 5.4) and maximality (Cor 5.8)" in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ alphabet_arg $ expr_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ alphabet_arg $ expr_arg $ fuel_arg $ deadline_arg
+      $ retries_arg)
 
 (* --- maximize --- *)
 
@@ -284,9 +335,19 @@ let batch_cmd =
     let doc = "Print runtime cache statistics to stderr when done." in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let run wrapper_file pages jobs cache_size stats =
+  let inject_fault_arg =
+    let doc =
+      "TESTING: arm the deterministic fault injector to poison the batch \
+       item at this 0-based index (repeatable).  The poisoned item yields \
+       a per-item error cell; every other item completes normally."
+    in
+    Arg.(value & opt_all int [] & info [ "inject-fault" ] ~docv:"IDX" ~doc)
+  in
+  let run wrapper_file pages jobs cache_size stats fuel deadline_ms retries
+      inject =
     handle_errors @@ fun () ->
     (match cache_size with Some n -> Runtime.set_cache_size n | None -> ());
+    if inject <> [] then Guard_faults.arm Guard_faults.Batch_item ~at:inject;
     match Wrapper_io.load wrapper_file with
     | Error e ->
         Format.eprintf "%s: %s@." wrapper_file e;
@@ -294,8 +355,10 @@ let batch_cmd =
     | Ok w ->
         let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
         let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
-        let results = Wrapper.extract_batch ~jobs w docs in
-        let failures = ref 0 in
+        let results =
+          Wrapper.extract_batch ~jobs ?fuel ?deadline_ms ~retries w docs
+        in
+        let failures = ref 0 and unknowns = ref 0 in
         List.iter2
           (fun f result ->
             match result with
@@ -303,10 +366,13 @@ let batch_cmd =
                 Format.printf "%s: target at %s@." f
                   (String.concat "." (List.map string_of_int path))
             | Error e ->
-                incr failures;
+                (match e with
+                | Wrapper.Exhausted_budget _ -> incr unknowns
+                | _ -> incr failures);
                 Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
           pages results;
         if stats then Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
+        if !unknowns > 0 then exit exit_unknown;
         if !failures > 0 then exit 1
   in
   let doc =
@@ -316,7 +382,7 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ wrapper_arg $ pages_arg $ jobs_arg $ cache_size_arg
-      $ stats_arg)
+      $ stats_arg $ fuel_arg $ deadline_arg $ retries_arg $ inject_fault_arg)
 
 (* --- validate (DTD) --- *)
 

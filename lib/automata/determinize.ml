@@ -11,6 +11,11 @@ let run (n : Nfa.t) : Dfa.t =
     match Hashtbl.find_opt table key with
     | Some id -> id
     | None ->
+        (* One fuel unit per subset state: the 2^n blow-up of the
+           PSPACE-hard instances (Thm 5.12) is charged right where it
+           materializes. *)
+        Guard.charge ~stage:"determinize" 1;
+        Guard_faults.point Guard_faults.Determinize;
         let id = !count in
         incr count;
         Hashtbl.add table key id;

@@ -18,6 +18,7 @@ let product conn (a : Dfa.t) (b : Dfa.t) : Dfa.t =
     match Hashtbl.find_opt table code with
     | Some id -> id
     | None ->
+        Guard.charge ~stage:"product" 1;
         let id = !count in
         incr count;
         Hashtbl.add table code id;
@@ -104,6 +105,9 @@ let coreachable_pairs (a : Dfa.t) (b : Dfa.t) : Bitvec.t =
   let k = a.Dfa.alpha_size in
   let na = a.Dfa.size and nb = b.Dfa.size in
   let n = na * nb in
+  (* The full product is materialized as predecessor lists, so the
+     whole pair count is charged up front. *)
+  Guard.charge ~stage:"quotient" n;
   let preds = Array.make n [] in
   for qa = 0 to na - 1 do
     for qb = 0 to nb - 1 do
@@ -171,6 +175,7 @@ let prefix_quotient (b : Dfa.t) (a : Dfa.t) : Dfa.t =
         for c = 0 to k - 1 do
           let p' = (Dfa.step a qa c * nb) + Dfa.step b qb c in
           if not (Bitvec.mem seen p') then begin
+            Guard.charge ~stage:"quotient" 1;
             Bitvec.set seen p';
             stack := p' :: !stack
           end

@@ -24,6 +24,8 @@ let moore d =
   let changed = ref true in
   while !changed do
     changed := false;
+    (* Each refinement pass touches every state once. *)
+    Guard.charge ~stage:"minimize" n;
     let sig_table : (int list, int) Hashtbl.t = Hashtbl.create (2 * n) in
     let next_cls = Array.make n 0 in
     let next_id = ref 0 in
@@ -79,6 +81,7 @@ let hopcroft d =
   let block_size = ref (Array.make (2 * n + 2) 0) in
   let n_blocks = ref 0 in
   let add_block members =
+    Guard.charge ~stage:"minimize" 1;
     let id = !n_blocks in
     incr n_blocks;
     if id >= Array.length !blocks then begin
@@ -120,6 +123,7 @@ let hopcroft d =
       done);
   while not (Queue.is_empty worklist) do
     let splitter, a = Queue.pop worklist in
+    Guard.charge ~stage:"minimize" 1;
     Hashtbl.remove in_w (splitter, a);
     (* X = states with an a-transition into the splitter block. *)
     let x = Hashtbl.create 16 in

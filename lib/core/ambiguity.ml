@@ -17,6 +17,9 @@ let is_ambiguous (e : Extraction.t) =
 
 let is_unambiguous e = not (is_ambiguous e)
 
+let is_ambiguous_bounded ~budget e =
+  Guard.capture budget (fun () -> is_ambiguous e)
+
 (* Prop 5.5: extend the alphabet with a fresh marker c.  The sides must
    first be re-rendered over the extended alphabet; Lang.to_regex emits
    only positive symbol classes, so the rendering keeps its Σ-meaning
@@ -83,3 +86,5 @@ let witness (e : Extraction.t) =
       | Some a, Some b ->
           Some (Word.concat [ a; [| p |]; gamma; [| p |]; b ])
       | _ -> None)
+
+let witness_bounded ~budget e = Guard.capture budget (fun () -> witness e)

@@ -23,6 +23,19 @@ val witness : Extraction.t -> Word.t option
 (** When ambiguous, a (short) parsed word admitting at least two splits,
     built per Lemma 5.3 as [α·p·γ·p·β].  [None] iff unambiguous. *)
 
+(** {1 Budgeted variants}
+
+    Same procedures metered by a {!Guard.Budget.t}: [Decided v] is the
+    exact unbudgeted answer (fuel never alters the computation, it only
+    bounds it); [Unknown] means the budget gave out first.  The
+    unbudgeted entry points above stay total for in-budget inputs. *)
+
+val is_ambiguous_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> bool Guard.outcome
+
+val witness_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> Word.t option Guard.outcome
+
 (** {1 Language-level interface}
 
     Used by the synthesis algorithms, which manipulate languages

@@ -21,3 +21,8 @@ let strictly_below f e = preceq f e && not (preceq e f)
 let same_parsed_language f e =
   check f e;
   Lang.equal (Extraction.language f) (Extraction.language e)
+
+let preceq_bounded ~budget f e = Guard.capture budget (fun () -> preceq f e)
+
+let equivalent_bounded ~budget f e =
+  Guard.capture budget (fun () -> equivalent f e)

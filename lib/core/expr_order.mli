@@ -23,3 +23,12 @@ val same_parsed_language : Extraction.t -> Extraction.t -> bool
 (** [L(F1·p·F2) = L(E1·p·E2)].  Note (§4): [≼] implies containment of
     parsed languages but {e not} vice versa — [p⟨p⟩pp] and [pp⟨p⟩p]
     parse the same language yet extract different occurrences. *)
+
+(** {1 Budgeted variants} — see {!Guard}.  [Decided v] is the exact
+    unbudgeted answer; [Unknown] means the fuel/deadline gave out. *)
+
+val preceq_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> Extraction.t -> bool Guard.outcome
+
+val equivalent_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> Extraction.t -> bool Guard.outcome

@@ -51,3 +51,5 @@ let check (e : Extraction.t) =
             Maximal)
 
 let is_maximal e = check e = Maximal
+
+let check_bounded ~budget e = Guard.capture budget (fun () -> check e)

@@ -31,6 +31,13 @@ val check : Extraction.t -> verdict
 val is_maximal : Extraction.t -> bool
 (** [check e = Maximal].  Ambiguous input ⇒ [false]. *)
 
+val check_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> verdict Guard.outcome
+(** {!check} metered by a {!Guard.Budget.t}: the PSPACE-hard instances
+    (Thm 5.12) answer [Unknown] when the fuel or deadline gives out
+    instead of constructing an exponential DFA; [Decided v] is the
+    exact unbudgeted verdict. *)
+
 val is_maximal_langs : Lang.t -> int -> Lang.t -> bool
 (** Language-level Cor 5.8 test, unambiguity {e not} re-checked —
     internal fast path for the synthesis algorithms. *)

@@ -34,6 +34,10 @@ let enabled_flag = ref true
 let mutex = Mutex.create ()
 
 let cached stage key compute =
+  (* Fault-injection probe (tests only): an armed Cache_lookup site can
+     make any memoized stage blow up deterministically, exercising the
+     degradation paths of Runtime/Batch callers. *)
+  Guard_faults.point Guard_faults.Cache_lookup;
   if not !enabled_flag then compute ()
   else
     let c = counter_of stage in

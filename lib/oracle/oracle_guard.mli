@@ -1,0 +1,15 @@
+(** Differential oracles for the budgeted-execution layer (lib/guard).
+
+    The guard's contract has three faces, each fuzzed here:
+
+    - {e conservativeness}: with ample fuel, every [*_bounded] entry
+      point answers [Decided v] where [v] is bit-identical to the
+      unbounded procedure — fuel meters work, it never alters it;
+    - {e monotonicity}: once a decision is [Decided] at fuel [F], every
+      fuel [≥ F] is [Decided] with the same value — more budget can
+      only turn [Unknown] into [Decided], never flip an answer;
+    - {e isolation}: under injected faults, a batch run equals the
+      fault-free run minus {e exactly} the faulted indices, for every
+      job count. *)
+
+val tests : count:int -> QCheck.Test.t list

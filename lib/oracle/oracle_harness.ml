@@ -18,6 +18,7 @@ let all =
     { name = "order-laws"; tests = Oracle_order.tests };
     { name = "synthesis"; tests = Oracle_synthesis.tests };
     { name = "runtime"; tests = Oracle_runtime.tests };
+    { name = "guard"; tests = Oracle_guard.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

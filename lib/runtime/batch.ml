@@ -8,35 +8,56 @@ let chunk_bounds ~jobs n =
       let hi = lo + base + if c < extra then 1 else 0 in
       (lo, hi))
 
+(* Evaluate one item in isolation: whatever the application raises —
+   a worker bug, an injected fault, a Guard.Exhausted from a per-item
+   budget — becomes this item's Error cell and the worker moves on to
+   the next index.  The armed-in-tests-only fault probe sits inside the
+   handler so an injected failure degrades exactly like a real one. *)
+let eval_item f i x =
+  match
+    Guard_faults.point_indexed Guard_faults.Batch_item i;
+    f x
+  with
+  | v -> Ok v
+  | exception e -> Error e
+
+(* Shared chunked scheduler: one domain per contiguous chunk, results
+   written to distinct indices, publication via Domain.join.  Every
+   item is evaluated (no early abort), so the result array is total and
+   identical for every job count. *)
+let run_isolated ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.mapi (fun i x -> eval_item f i x) arr
+  else begin
+    let results = Array.make n (Error Exit) in
+    let bounds = chunk_bounds ~jobs n in
+    let work c () =
+      let lo, hi = bounds.(c) in
+      for i = lo to hi - 1 do
+        results.(i) <- eval_item f i arr.(i)
+      done
+    in
+    let spawned = Array.init (jobs - 1) (fun c -> Domain.spawn (work (c + 1))) in
+    work 0 ();
+    Array.iter Domain.join spawned;
+    results
+  end
+
+let map_isolated ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> recommended_jobs ()
+  in
+  let results = run_isolated ~jobs f (Array.of_list xs) in
+  Array.to_list
+    (Array.map
+       (function Ok v -> Ok v | Error e -> Error (Printexc.to_string e))
+       results)
+
 let map ?jobs f xs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> recommended_jobs ()
   in
-  let arr = Array.of_list xs in
-  let n = Array.length arr in
-  let jobs = min jobs n in
-  if jobs <= 1 then List.map f xs
-  else begin
-    let results = Array.make n None in
-    let bounds = chunk_bounds ~jobs n in
-    (* Distinct chunks write distinct indices; Domain.join publishes the
-       writes to the joining domain. *)
-    let work c () =
-      let lo, hi = bounds.(c) in
-      match
-        for i = lo to hi - 1 do
-          results.(i) <- Some (f arr.(i))
-        done
-      with
-      | () -> None
-      | exception e -> Some e
-    in
-    let spawned = Array.init (jobs - 1) (fun c -> Domain.spawn (work (c + 1))) in
-    let own = work 0 () in
-    let joined = Array.map Domain.join spawned in
-    (match own with
-    | Some e -> raise e
-    | None ->
-        Array.iter (function Some e -> raise e | None -> ()) joined);
-    Array.to_list (Array.map Option.get results)
-  end
+  let results = run_isolated ~jobs f (Array.of_list xs) in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results)

@@ -138,3 +138,24 @@ let maximize e =
   match decide e "maximize" (fun () -> D_maximize (Synthesis.maximize e)) with
   | D_maximize r -> r
   | _ -> assert false
+
+(* --- budgeted decision procedures ---
+
+   Each bounded entry runs the cached procedure under the caller's
+   budget.  The interplay with the verdict cache is deliberate:
+
+   - a cache hit answers [Decided] for free (no fuel spent);
+   - an in-budget miss computes the exact unbudgeted answer and caches
+     it under the same key, so later unbounded calls hit;
+   - an exhausted run raises out of [decide] {e before} [Lru.add], so
+     an [Unknown] is never cached — a retry with a larger budget
+     recomputes instead of being served the stale "don't know". *)
+
+let is_ambiguous_bounded ~budget e =
+  Guard.capture budget (fun () -> is_ambiguous e)
+
+let ambiguity_witness_bounded ~budget e =
+  Guard.capture budget (fun () -> ambiguity_witness e)
+
+let check_maximality_bounded ~budget e =
+  Guard.capture budget (fun () -> check_maximality e)

@@ -84,3 +84,21 @@ val is_maximal : Extraction.t -> bool
 val maximize :
   Extraction.t ->
   (Extraction.t * Synthesis.strategy, Synthesis.failure) result
+
+(** {1 Budgeted decision procedures}
+
+    The cached procedures metered by a {!Guard.Budget.t}.  A verdict
+    already in the cache answers [Decided] without spending fuel; an
+    in-budget miss computes the exact unbudgeted answer {e and caches
+    it}; an exhausted run returns [Unknown] and caches {e nothing} —
+    transient "don't know" outcomes are never served stale, a retry
+    with a larger budget always recomputes. *)
+
+val is_ambiguous_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> bool Guard.outcome
+
+val ambiguity_witness_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> Word.t option Guard.outcome
+
+val check_maximality_bounded :
+  budget:Guard.Budget.t -> Extraction.t -> Maximality.verdict Guard.outcome

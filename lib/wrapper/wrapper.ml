@@ -94,6 +94,8 @@ type extract_error =
   | No_match
   | Ambiguous_on_page of int list
   | Unknown_tag of string
+  | Exhausted_budget of Guard.reason
+  | Worker_error of string
 
 let pp_extract_error ppf = function
   | No_match -> Format.pp_print_string ppf "no match on page"
@@ -101,6 +103,8 @@ let pp_extract_error ppf = function
       Format.fprintf ppf "ambiguous on page (%d candidate positions)"
         (List.length l)
   | Unknown_tag t -> Format.fprintf ppf "page uses unknown tag %s" t
+  | Exhausted_budget r -> Guard.pp_reason ppf r
+  | Worker_error msg -> Format.fprintf ppf "worker error: %s" msg
 
 let extract_pos t word =
   match Extraction.matcher_extract t.matcher word with
@@ -144,6 +148,25 @@ let extract_compiled c doc =
 
 let extract t doc = extract_compiled (compile t) doc
 
-let extract_batch ?jobs t docs =
+let extract_batch ?jobs ?fuel ?deadline_ms ?(retries = 0) t docs =
   let c = compile t in
-  Batch.map ?jobs (extract_compiled c) docs
+  let step =
+    match (fuel, deadline_ms) with
+    | None, None -> extract_compiled c
+    | _ ->
+        (* Per-item escalating budget: each document gets its own fuel
+           allowance and fresh deadline, so one adversarial page
+           answers UNKNOWN instead of stalling the whole batch. *)
+        let fuel = Option.value fuel ~default:max_int in
+        let steps = Guard.escalation_steps ~fuel ~retries in
+        fun doc ->
+          (match
+             Guard.with_escalation ~steps ?deadline_ms (fun () ->
+                 extract_compiled c doc)
+           with
+          | Guard.Decided r -> r
+          | Guard.Unknown reason -> Error (Exhausted_budget reason))
+  in
+  List.map
+    (function Ok r -> r | Error msg -> Error (Worker_error msg))
+    (Batch.map_isolated ?jobs step docs)

@@ -40,8 +40,16 @@ type extract_error =
   | No_match
   | Ambiguous_on_page of int list
   | Unknown_tag of string  (** page uses a tag outside the alphabet *)
+  | Exhausted_budget of Guard.reason
+      (** the per-item fuel/deadline of a budgeted batch gave out —
+          a three-valued "don't know", not a negative answer *)
+  | Worker_error of string
+      (** the item's worker raised; the batch and the other items were
+          unaffected (per-item isolation, {!Batch.map_isolated}) *)
 
 val pp_extract_error : Format.formatter -> extract_error -> unit
+(** [Exhausted_budget] renders as the machine-readable
+    [UNKNOWN(<stage>,<spent>)] form the CLI and CI grep for. *)
 
 val extract : t -> Html_tree.doc -> (Html_tree.path, extract_error) result
 (** Locate the target node on a fresh page. *)
@@ -67,10 +75,18 @@ val extract_compiled :
 
 val extract_batch :
   ?jobs:int ->
+  ?fuel:int ->
+  ?deadline_ms:int ->
+  ?retries:int ->
   t ->
   Html_tree.doc list ->
   (Html_tree.path, extract_error) result list
 (** Extract from every document, in input order, across up to [jobs]
-    domains ({!Batch.map}; default {!Batch.recommended_jobs}, with a
-    sequential fallback when that is 1).  The result list is identical
-    for every [jobs] value. *)
+    domains ({!Batch.map_isolated}; default {!Batch.recommended_jobs},
+    with a sequential fallback when that is 1).  The result list is
+    identical for every [jobs] value, and a poisoned document degrades
+    to its own [Error] cell ([Worker_error]) without affecting any
+    other item.  When [fuel] (and optionally [deadline_ms] / [retries])
+    is given, each item runs under its own escalating {!Guard} budget
+    and answers [Error (Exhausted_budget _)] when every attempt runs
+    out. *)

@@ -52,3 +52,21 @@ wrapper cannot match fails with exit 1:
   sample1.html: target at 2.1
   empty.html: no match on page
   [1]
+
+A poisoned item (a deterministic fault injected into worker 1) is
+contained to its own line — every other item still extracts, the
+report stays in input order, and the degraded output is byte-identical
+at every parallelism level:
+
+  $ rexdex batch -w w.rexdex --jobs 1 --inject-fault 1 sample1.html sample2.html v1.html > p1.txt
+  [1]
+  $ rexdex batch -w w.rexdex --jobs 2 --inject-fault 1 sample1.html sample2.html v1.html > p2.txt
+  [1]
+  $ rexdex batch -w w.rexdex --jobs 4 --inject-fault 1 sample1.html sample2.html v1.html > p4.txt
+  [1]
+  $ cmp p1.txt p2.txt && cmp p1.txt p4.txt && echo isolated-identically
+  isolated-identically
+  $ cat p1.txt
+  sample1.html: target at 2.1
+  sample2.html: worker error: Guard_faults.Injected(batch-item, hit 1)
+  v1.html: target at 2.1

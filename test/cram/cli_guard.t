@@ -1,0 +1,54 @@
+Budgeted execution: --fuel meters DFA-state construction, --deadline-ms
+bounds wall clock, and exhaustion is a third verdict (UNKNOWN, exit 3),
+never a wrong answer.
+
+In-budget runs are byte-identical to unbounded ones — the budget meters
+the work, it does not change it:
+
+  $ rexdex check -a p,q '([^p])* <p> .*' > unbounded.txt
+  $ rexdex check -a p,q --fuel 100000 '([^p])* <p> .*' > bounded.txt
+  $ cmp unbounded.txt bounded.txt && echo identical
+  identical
+  $ cat bounded.txt
+  expression : [^p]* <p> .*
+  ambiguous  : no
+  maximal    : yes
+
+The Theorem 5.12 blow-up family ([^p])* <p> (p|q)* q (p|q){k} needs a
+2^(k+1)-state DFA on the right side; at k=16 that dwarfs any sane fuel
+budget.  One retry doubles the fuel (5000 -> 10000) and the spent
+counter is deterministic, so the UNKNOWN line is reproducible
+byte-for-byte:
+
+  $ rexdex check -a p,q --fuel 5000 --retries 1 '([^p])* <p> (p | q)* q (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q)'
+  expression : [^p]* <p> .* q . . . . . . . . . . . . . . . .
+  ambiguous  : UNKNOWN(determinize,10001)
+  [3]
+
+A wall-clock deadline exhausts too (the spent count at the moment the
+clock fires is timing-dependent, so we normalize it):
+
+  $ rexdex check -a p,q --deadline-ms 150 '([^p])* <p> (p | q)* q (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q)' > out.txt
+  [3]
+  $ sed 's/UNKNOWN(deadline,[0-9]*)/UNKNOWN(deadline,_)/' out.txt
+  expression : [^p]* <p> .* q . . . . . . . . . . . . . . . . . . . .
+  ambiguous  : UNKNOWN(deadline,_)
+
+Batch accepts the same budget flags; a wrapper compiled in-budget
+extracts identically with and without them:
+
+  $ cat > s1.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text" data-target="1"><input type="radio"></form>
+  > EOF
+  $ cat > s2.html <<'EOF'
+  > <table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input type="image"><input type="text" data-target="1"><input type="radio"></form></td></tr></table>
+  > EOF
+  $ rexdex learn s1.html s2.html --save w.rexdex | tail -1
+  saved     : w.rexdex
+  $ rexdex batch -w w.rexdex s1.html s2.html > plain.txt
+  $ rexdex batch -w w.rexdex --fuel 100000 --deadline-ms 5000 --retries 2 s1.html s2.html > budgeted.txt
+  $ cmp plain.txt budgeted.txt && echo identical
+  identical
+  $ cat budgeted.txt
+  s1.html: target at 2.1
+  s2.html: target at 0.1.0.0.1

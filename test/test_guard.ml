@@ -1,0 +1,289 @@
+(* Tests for the budgeted-execution layer: fuel accounting, deadlines,
+   escalation, three-valued verdicts on the Thm 5.12 blow-up family,
+   batch isolation under injected faults, and the verdict cache's
+   never-cache-Unknown guarantee. *)
+
+open Helpers
+
+let ex s = Extraction.parse ab_pq s
+
+(* The E3 hard family: maximality of ([^p])* <p> (p|q)* q (p|q){k} is
+   universality of the right side (Prop 5.11); its minimal DFA has
+   2^(k+1) states, so every in-fuel budget below that exhausts. *)
+let hard k =
+  ex
+    (Printf.sprintf "([^p])* <p> (p | q)* q %s"
+       (String.concat " " (List.init k (fun _ -> "(p | q)"))))
+
+(* --- Guard core --- *)
+
+let test_charge_and_exhaust () =
+  let b = Guard.Budget.make ~fuel:10 () in
+  Guard.with_budget b (fun () -> Guard.charge ~stage:"s" 7);
+  check_int "spent accumulates" 7 (Guard.Budget.spent b);
+  check_bool "no budget outside scope" false (Guard.active ());
+  (match Guard.with_budget b (fun () -> Guard.charge ~stage:"s" 7) with
+  | () -> Alcotest.fail "expected Exhausted"
+  | exception Guard.Exhausted r ->
+      check_string "stage" "s" r.Guard.stage;
+      check_int "spent at raise" 14 r.Guard.spent;
+      check_int "limit" 10 r.Guard.limit);
+  (* charges outside any budget are free *)
+  Guard.charge ~stage:"s" 1_000_000
+
+let test_budget_nesting () =
+  let outer = Guard.Budget.make ~fuel:1000 () in
+  let inner = Guard.Budget.make ~fuel:5 () in
+  Guard.with_budget outer (fun () ->
+      (match Guard.capture inner (fun () -> Guard.charge ~stage:"i" 6) with
+      | Guard.Unknown r -> check_int "inner limit" 5 r.Guard.limit
+      | Guard.Decided () -> Alcotest.fail "inner should exhaust");
+      (* the outer budget is restored and still live *)
+      Guard.charge ~stage:"o" 900);
+  check_int "outer untouched by inner charges" 900 (Guard.Budget.spent outer)
+
+let test_deadline_fires () =
+  let b = Guard.Budget.make ~fuel:max_int ~deadline_ms:10 () in
+  match
+    Guard.capture b (fun () ->
+        while true do
+          Guard.charge ~stage:"loop" 1
+        done)
+  with
+  | Guard.Unknown r -> check_string "deadline stage" "deadline" r.Guard.stage
+  | Guard.Decided _ -> Alcotest.fail "infinite loop cannot decide"
+
+let test_escalation () =
+  check_bool "ladder doubles" true
+    (Guard.escalation_steps ~fuel:100 ~retries:3 = [ 100; 200; 400; 800 ]);
+  check_bool "ladder saturates at max_int" true
+    (Guard.escalation_steps ~fuel:((max_int / 2) + 1) ~retries:2
+    = [ (max_int / 2) + 1; max_int; max_int ]);
+  (* a task needing 150 fuel: fails at 100, succeeds at 200 *)
+  let attempts = ref 0 in
+  (match
+     Guard.with_escalation ~steps:[ 100; 200 ] (fun () ->
+         incr attempts;
+         Guard.charge ~stage:"t" 150;
+         "done")
+   with
+  | Guard.Decided v -> check_string "decided on retry" "done" v
+  | Guard.Unknown _ -> Alcotest.fail "200 fuel suffices");
+  check_int "two attempts" 2 !attempts;
+  (* all steps exhaust: the last attempt's reason is reported *)
+  match
+    Guard.with_escalation ~steps:[ 10; 20 ] (fun () ->
+        Guard.charge ~stage:"t" 1000)
+  with
+  | Guard.Unknown r -> check_int "last step's limit" 20 r.Guard.limit
+  | Guard.Decided () -> Alcotest.fail "cannot decide"
+
+let test_reason_format () =
+  let r = { Guard.stage = "determinize"; spent = 42; limit = 40 } in
+  check_string "machine-readable" "UNKNOWN(determinize,42)"
+    (Guard.reason_to_string r)
+
+(* --- bounded decision procedures on the blow-up family --- *)
+
+let test_bounded_unknown_on_hard () =
+  Runtime.reset ();
+  let e = hard 8 in
+  let tiny = Guard.Budget.make ~fuel:200 () in
+  (match Maximality.check_bounded ~budget:tiny e with
+  | Guard.Unknown r ->
+      check_string "exhausts in determinize" "determinize" r.Guard.stage;
+      check_bool "spent just past limit" true (r.Guard.spent > 200)
+  | Guard.Decided _ -> Alcotest.fail "2^9 states cannot fit in 200 fuel");
+  (* ample fuel decides, and agrees with the unbounded procedure *)
+  let ample = Guard.Budget.make ~fuel:max_int () in
+  match Maximality.check_bounded ~budget:ample e with
+  | Guard.Decided v -> check_bool "agrees with unbounded" true (v = Maximality.check e)
+  | Guard.Unknown _ -> Alcotest.fail "max_int fuel cannot exhaust"
+
+let test_bounded_ambiguity_and_order () =
+  let e1 = ex "([^p])* <p> .*" and e2 = ex "(p | q)* <p> .*" in
+  let b () = Guard.Budget.make ~fuel:max_int () in
+  check_bool "ambiguity decided" true
+    (Ambiguity.is_ambiguous_bounded ~budget:(b ()) e1
+    = Guard.Decided (Ambiguity.is_ambiguous e1));
+  check_bool "witness decided" true
+    (Ambiguity.witness_bounded ~budget:(b ()) e2
+    = Guard.Decided (Ambiguity.witness e2));
+  check_bool "preceq decided" true
+    (Expr_order.preceq_bounded ~budget:(b ()) e1 e2
+    = Guard.Decided (Expr_order.preceq e1 e2));
+  check_bool "equivalent decided" true
+    (Expr_order.equivalent_bounded ~budget:(b ()) e1 e2
+    = Guard.Decided (Expr_order.equivalent e1 e2));
+  (* a tiny budget turns the same questions into Unknown, not lies *)
+  let starved = Guard.Budget.make ~fuel:1 () in
+  match Expr_order.preceq_bounded ~budget:starved e1 e2 with
+  | Guard.Unknown _ -> ()
+  | Guard.Decided v ->
+      check_bool "if decided under starvation, still exact" true
+        (v = Expr_order.preceq e1 e2)
+
+(* --- verdict cache: Unknown is transient --- *)
+
+let test_unknown_never_cached () =
+  Runtime.reset ();
+  let e = hard 8 in
+  let tiny = Guard.Budget.make ~fuel:200 () in
+  (match Runtime.check_maximality_bounded ~budget:tiny e with
+  | Guard.Unknown _ -> ()
+  | Guard.Decided _ -> Alcotest.fail "200 fuel cannot build 2^9 states");
+  let s1 = Runtime.stats () in
+  (* the exhausted attempt must not have cached a verdict: the retry
+     misses the decision cache (recomputes) rather than replaying a
+     stale Unknown — and with enough fuel it decides *)
+  let ample = Guard.Budget.make ~fuel:max_int () in
+  (match Runtime.check_maximality_bounded ~budget:ample e with
+  | Guard.Decided v ->
+      check_bool "retry decides exactly" true (v = Maximality.check e)
+  | Guard.Unknown _ -> Alcotest.fail "ample retry must decide");
+  let s2 = Runtime.stats () in
+  check_bool "retry was a decision-cache miss, not a stale hit" true
+    (s2.Runtime.Stats.decision.misses > s1.Runtime.Stats.decision.misses);
+  (* and now the Decided verdict IS cached: a third call hits *)
+  let s3 = Runtime.stats () in
+  ignore (Runtime.check_maximality e);
+  let s4 = Runtime.stats () in
+  check_bool "decided verdict cached for the unbounded path" true
+    (s4.Runtime.Stats.decision.hits > s3.Runtime.Stats.decision.hits)
+
+(* --- batch isolation --- *)
+
+let test_batch_isolated_poison () =
+  let xs = List.init 11 Fun.id in
+  let f x = if x = 5 then failwith "poisoned" else x * 10 in
+  let results = List.map (fun jobs -> Batch.map_isolated ~jobs f xs) [ 1; 2; 4 ] in
+  (match results with
+  | r1 :: rest ->
+      List.iter
+        (fun r -> check_bool "order identical across -j" true (r = r1))
+        rest;
+      List.iteri
+        (fun i cell ->
+          if i = 5 then
+            check_bool "poisoned cell is Error" true (Result.is_error cell)
+          else check_bool "other items unaffected" true (cell = Ok (i * 10)))
+        r1
+  | [] -> assert false);
+  (* Guard exhaustion in one item is likewise contained *)
+  let g x =
+    if x = 3 then
+      match Guard.run ~fuel:1 (fun () -> Guard.charge ~stage:"s" 2) with
+      | Guard.Unknown r -> raise (Guard.Exhausted r)
+      | Guard.Decided () -> x
+    else x
+  in
+  let cells = Batch.map_isolated ~jobs:2 g xs in
+  List.iteri
+    (fun i cell ->
+      if i = 3 then
+        match cell with
+        | Error msg ->
+            check_bool "Exhausted rendered" true
+              (String.length msg > 0
+              && String.sub msg 0 5 = "Guard")
+        | Ok _ -> Alcotest.fail "item 3 must error"
+      else check_bool "rest fine" true (cell = Ok i))
+    cells
+
+let test_batch_injected_faults () =
+  Guard_faults.arm Guard_faults.Batch_item ~at:[ 2; 7 ];
+  Fun.protect ~finally:Guard_faults.disarm @@ fun () ->
+  let xs = List.init 10 Fun.id in
+  let f x = x + 100 in
+  List.iter
+    (fun jobs ->
+      let cells = Batch.map_isolated ~jobs f xs in
+      List.iteri
+        (fun i cell ->
+          if i = 2 || i = 7 then
+            check_bool
+              (Printf.sprintf "jobs=%d faulted %d" jobs i)
+              true (Result.is_error cell)
+          else
+            check_bool
+              (Printf.sprintf "jobs=%d clean %d" jobs i)
+              true
+              (cell = Ok (i + 100)))
+        cells)
+    [ 1; 2; 4 ]
+
+(* --- fault injection at the cache layer --- *)
+
+let test_cache_fault_degrades_and_recovers () =
+  Runtime.reset ();
+  Guard_faults.arm Guard_faults.Cache_lookup ~at:[ 1 ];
+  (Fun.protect ~finally:Guard_faults.disarm @@ fun () ->
+   match Lang.of_regex ab_pq (rx ab_pq "(q p)* q") with
+   | exception Guard_faults.Injected { site; _ } ->
+       check_string "fired at the cache" "cache-lookup" site
+   | _ -> Alcotest.fail "armed lookup must fire");
+  (* disarmed: the same compilation now succeeds and is correct *)
+  let l = Lang.of_regex ab_pq (rx ab_pq "(q p)* q") in
+  check_bool "recovers after disarm" true (Lang.mem l (w ab_pq "q"))
+
+let test_determinize_fault_fires_mid_construction () =
+  Runtime.reset ();
+  Guard_faults.arm Guard_faults.Determinize ~at:[ 3 ];
+  (Fun.protect ~finally:Guard_faults.disarm @@ fun () ->
+   match Lang.of_regex ab_pq (rx ab_pq "(p | q)* q (p | q) (p | q)") with
+   | exception Guard_faults.Injected { site; hit } ->
+       check_string "fired mid-determinization" "determinize" site;
+       check_int "on the armed state count" 3 hit
+   | _ -> Alcotest.fail "armed determinize must fire");
+  Runtime.reset ();
+  let l = Lang.of_regex ab_pq (rx ab_pq "(p | q)* q (p | q) (p | q)") in
+  check_bool "clean rebuild after disarm" true (Lang.mem l (w ab_pq "q p p"))
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "charge and exhaust" `Quick test_charge_and_exhaust;
+          Alcotest.test_case "nesting restores" `Quick test_budget_nesting;
+          Alcotest.test_case "deadline fires" `Quick test_deadline_fires;
+          Alcotest.test_case "escalation ladder" `Quick test_escalation;
+          Alcotest.test_case "UNKNOWN format" `Quick test_reason_format;
+        ] );
+      ( "bounded-decisions",
+        [
+          Alcotest.test_case "hard family: Unknown then Decided" `Quick
+            test_bounded_unknown_on_hard;
+          Alcotest.test_case "ambiguity/witness/order bounded" `Quick
+            test_bounded_ambiguity_and_order;
+          Alcotest.test_case "Unknown never cached (regression)" `Quick
+            test_unknown_never_cached;
+        ] );
+      ( "batch-isolation",
+        [
+          Alcotest.test_case "poisoned item contained" `Quick
+            test_batch_isolated_poison;
+          Alcotest.test_case "injected faults contained" `Quick
+            test_batch_injected_faults;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "cache-lookup fault" `Quick
+            test_cache_fault_degrades_and_recovers;
+          Alcotest.test_case "mid-determinize fault" `Quick
+            test_determinize_fault_fires_mid_construction;
+        ] );
+      ( "oracle",
+        [
+          ( "guard oracles",
+            `Quick,
+            fun () ->
+              ignore
+                (List.map
+                   (fun t ->
+                     QCheck.Test.check_exn
+                       ~rand:(Random.State.make [| qcheck_seed |])
+                       t)
+                   (Oracle_guard.tests ~count:40)) );
+        ] );
+    ]
