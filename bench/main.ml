@@ -499,6 +499,19 @@ let e12 () =
   in
   let oc = open_out path in
   let s = Runtime.stats () in
+  (* Per-jobs speedup over the jobs=1 row (add-only schema extension:
+     existing consumers of the batch rows keep parsing). *)
+  let ms_j1 =
+    match List.find_opt (fun (jobs, _, _) -> jobs = 1) batch_rows with
+    | Some (_, ms, _) -> ms
+    | None -> nan
+  in
+  let speedup_vs_j1 ms = if ms > 0.0 then ms_j1 /. ms else nan in
+  let batch_speedup_j4 =
+    match List.find_opt (fun (jobs, _, _) -> jobs = 4) batch_rows with
+    | Some (_, ms, _) -> speedup_vs_j1 ms
+    | None -> nan
+  in
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"E12\",\n\
@@ -507,15 +520,18 @@ let e12 () =
     \  \"warm_ms\": %.3f,\n\
     \  \"speedup\": %.2f,\n\
     \  \"batch_identical\": %b,\n\
+    \  \"batch_speedup_j4\": %.3f,\n\
     \  \"batch\": [%s],\n\
     \  \"cache\": { \"compile_hits\": %d, \"compile_misses\": %d, \"quotient_hits\": %d, \"quotient_misses\": %d }\n\
      }\n"
-    (List.length exprs) cold_ms warm_ms speedup identical
+    (List.length exprs) cold_ms warm_ms speedup identical batch_speedup_j4
     (String.concat ", "
        (List.map
           (fun (jobs, ms, same) ->
-            Printf.sprintf "{\"jobs\": %d, \"ms\": %.3f, \"identical\": %b}"
-              jobs ms same)
+            Printf.sprintf
+              "{\"jobs\": %d, \"ms\": %.3f, \"identical\": %b, \
+               \"speedup_vs_j1\": %.3f}"
+              jobs ms same (speedup_vs_j1 ms))
           batch_rows))
     s.Runtime.Stats.compile.Runtime.Stats.hits
     s.Runtime.Stats.compile.Runtime.Stats.misses
@@ -622,10 +638,152 @@ let e13 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E14: parallel scaling — work-stealing pool on a skewed corpus ----- *)
+
+let e14 () =
+  banner "E14"
+    "work-stealing pool: skewed-corpus scaling and matcher allocation";
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let alpha = Wrapper.alphabet_for [ top; bottom ] in
+  let pt = Option.get (Pagegen.target_path top) in
+  let pb = Option.get (Pagegen.target_path bottom) in
+  match Wrapper.learn ~alpha [ (top, pt); (bottom, pb) ] with
+  | Error e -> Format.printf "LEARNING FAILED: %a@." Wrapper.pp_learn_error e
+  | Ok w ->
+      (* Skewed corpus: many cheap pages plus a few giants, giants first
+         — under static chunking every giant lands in participant 0's
+         range, the adversarial case work stealing exists to fix. *)
+      let rng = Random.State.make [| 14 |] in
+      let giants =
+        List.init 6 (fun i ->
+            Pagegen.generate rng
+              { Pagegen.default_profile with
+                product_rows = 2500 + (500 * (i mod 3)) })
+      in
+      let small =
+        List.init 300 (fun _ ->
+            Pagegen.generate rng (Pagegen.random_profile rng))
+      in
+      let docs = giants @ small in
+      let n_docs = List.length docs in
+      let tokens_total =
+        List.fold_left
+          (fun acc d ->
+            acc + Array.length (Tag_seq.of_doc ~abs:w.Wrapper.abs alpha d))
+          0 docs
+      in
+      Printf.printf
+        "corpus: %d pages (%d giants first), %d tokens total; one compiled \
+         wrapper\n"
+        n_docs (List.length giants) tokens_total;
+      let reference = Wrapper.extract_batch ~jobs:1 w docs in
+      Pool.reset_stats ();
+      Printf.printf "| jobs | median ms | pages/s | speedup vs j1 | output = --jobs 1 |\n";
+      Printf.printf "|---|---|---|---|---|\n";
+      let identical = ref true in
+      let rows =
+        List.map
+          (fun jobs ->
+            let ms =
+              time_ms ~reps:3 (fun () -> Wrapper.extract_batch ~jobs w docs)
+            in
+            let same = Wrapper.extract_batch ~jobs w docs = reference in
+            identical := !identical && same;
+            (jobs, ms, same))
+          [ 1; 2; 4 ]
+      in
+      let ms_j1 =
+        match rows with (1, ms, _) :: _ -> ms | _ -> assert false
+      in
+      let rows =
+        List.map
+          (fun (jobs, ms, same) ->
+            let speedup = ms_j1 /. ms in
+            Printf.printf "| %d | %8.2f | %8.0f | %5.2f | %b |\n" jobs ms
+              (float_of_int n_docs /. (ms /. 1000.0))
+              speedup same;
+            (jobs, ms, same, speedup))
+          rows
+      in
+      let pool = Pool.stats () in
+      Printf.printf "%s" (Format.asprintf "%a" Pool.pp_stats pool);
+      (* Per-word allocation of the matcher hot path: the per-domain
+         scratch bitset vs the allocating reference.  Measured on the
+         largest page's token word. *)
+      let giant_word =
+        Tag_seq.of_doc ~abs:w.Wrapper.abs alpha (List.hd docs)
+      in
+      let m = w.Wrapper.matcher in
+      let minor_words_per_call f =
+        ignore (Sys.opaque_identity (f ()));
+        (* warm the scratch *)
+        let reps = 50 in
+        let before = Gc.minor_words () in
+        for _ = 1 to reps do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        (Gc.minor_words () -. before) /. float_of_int reps
+      in
+      let scratch_words =
+        minor_words_per_call (fun () -> Extraction.matcher_splits m giant_word)
+      in
+      let fresh_words =
+        minor_words_per_call (fun () ->
+            Extraction.matcher_splits_fresh m giant_word)
+      in
+      Printf.printf
+        "matcher allocation on a %d-token word (minor words/call):\n\
+         | path | minor words |\n\
+         |---|---|\n\
+         | scratch (hot path) | %8.0f |\n\
+         | fresh bitset (reference) | %8.0f |\n"
+        (Array.length giant_word) scratch_words fresh_words;
+      Printf.printf
+        "shape check: output is invariant in the job count, the scratch path\n\
+         allocates less than the fresh path, and on a multicore host the\n\
+         skewed corpus still scales (stealing drains the giant chunk).\n";
+      let path =
+        Option.value (Sys.getenv_opt "BENCH_SCHED_JSON")
+          ~default:"BENCH_sched.json"
+      in
+      let oc = open_out path in
+      let speedup_j4 =
+        match List.find_opt (fun (jobs, _, _, _) -> jobs = 4) rows with
+        | Some (_, _, _, s) -> s
+        | None -> nan
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"experiment\": \"E14\",\n\
+        \  \"corpus\": { \"pages\": %d, \"giants\": %d, \"tokens_total\": %d },\n\
+        \  \"identical\": %b,\n\
+        \  \"speedup_j4\": %.3f,\n\
+        \  \"rows\": [%s],\n\
+        \  \"alloc\": { \"word_len\": %d, \"scratch_minor_words_per_call\": %.1f, \"fresh_minor_words_per_call\": %.1f },\n\
+        \  \"pool\": { \"workers\": %d, \"batches\": %d, \"items\": %d, \"steals\": %d }\n\
+         }\n"
+        n_docs (List.length giants) tokens_total !identical speedup_j4
+        (String.concat ", "
+           (List.map
+              (fun (jobs, ms, same, speedup) ->
+                Printf.sprintf
+                  "{\"jobs\": %d, \"ms\": %.3f, \"pages_per_s\": %.0f, \
+                   \"speedup_vs_j1\": %.3f, \"identical\": %b}"
+                  jobs ms
+                  (float_of_int n_docs /. (ms /. 1000.0))
+                  speedup same)
+              rows))
+        (Array.length giant_word)
+        scratch_words fresh_words pool.Pool.workers pool.Pool.batches
+        pool.Pool.items pool.Pool.steals;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13) ]
+    ("E12", e12); ("E13", e13); ("E14", e14) ]
 
 let () =
   let requested =

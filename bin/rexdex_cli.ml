@@ -332,7 +332,9 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "cache-size" ] ~docv:"N" ~doc)
   in
   let stats_arg =
-    let doc = "Print runtime cache statistics to stderr when done." in
+    let doc =
+      "Print runtime cache and domain-pool statistics to stderr when done."
+    in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let inject_fault_arg =
@@ -371,7 +373,10 @@ let batch_cmd =
                 | _ -> incr failures);
                 Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
           pages results;
-        if stats then Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
+        if stats then begin
+          Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
+          Format.eprintf "%a" Pool.pp_stats (Pool.stats ())
+        end;
         if !unknowns > 0 then exit exit_unknown;
         if !failures > 0 then exit 1
   in

@@ -16,6 +16,12 @@ let validate t =
 
 let step t q a = t.delta.((q * t.alpha_size) + a)
 
+(* Bounds-check-free transition for validated DFAs on validated inputs:
+   [validate] guarantees every delta target is in [0, size), so a loop
+   that starts from [start] and checks only its *symbols* stays in
+   range forever. *)
+let unsafe_step t q a = Array.unsafe_get t.delta ((q * t.alpha_size) + a)
+
 let run_from t q w =
   let q = ref q in
   Array.iter (fun a -> q := step t !q a) w;

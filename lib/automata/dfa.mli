@@ -18,6 +18,14 @@ val validate : t -> unit
 val step : t -> int -> int -> int
 (** [step d q a] — one transition. *)
 
+val unsafe_step : t -> int -> int -> int
+(** [step] without bounds checks.  Only sound on a DFA that has passed
+    {!validate} (all delta targets in range), with [0 <= q < size] and
+    [0 <= a < alpha_size] — under those invariants a loop seeded with
+    [start] can only ever reach in-range states, so the caller need
+    only bound-check its {e symbols}.  The matcher hot path
+    ([Extraction.matcher_splits]) is the intended user. *)
+
 val run : t -> int array -> int
 (** State reached from the start on a word. *)
 

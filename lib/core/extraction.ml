@@ -87,31 +87,97 @@ type matcher = {
 }
 
 let compile expr =
-  {
-    expr;
-    left_dfa = Lang.dfa (left_lang expr);
-    right_rev_dfa = Lang.dfa (Lang.reverse (right_lang expr));
-  }
+  let left_dfa = Lang.dfa (left_lang expr) in
+  let right_rev_dfa = Lang.dfa (Lang.reverse (right_lang expr)) in
+  (* A matcher is frozen here — both DFAs are immutable from now on, so
+     sharing one matcher across the Batch pool's domains is safe.
+     validate establishes the structural invariants (delta targets in
+     range, finals length = size) that license the unsafe accesses in
+     the hot path below. *)
+  Dfa.validate left_dfa;
+  Dfa.validate right_rev_dfa;
+  { expr; left_dfa; right_rev_dfa }
 
 let matcher_expr m = m.expr
 
+(* Per-domain scratch for the suffix_ok bitset: one Bytes buffer per
+   domain, grown geometrically and reused across calls, so the hot
+   matcher path performs no per-word heap allocation beyond the result
+   list.  Domain-local storage keeps it safe under the Batch pool — no
+   two domains ever share a buffer, and a matcher call never suspends
+   mid-scratch. *)
+let scratch_key : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Bytes.empty)
+
+let get_scratch nbits =
+  let cell = Domain.DLS.get scratch_key in
+  let need = (nbits + 7) lsr 3 in
+  if Bytes.length !cell < need then
+    cell := Bytes.create (max 64 (max need (2 * Bytes.length !cell)));
+  !cell
+
+(* Raw bit ops on scratch.  Unsafe accesses are licensed by get_scratch
+   sizing; callers write every bit they later read, so no zeroing. *)
+let bit_write b i v =
+  let byte = i lsr 3 and off = i land 7 in
+  let cur = Char.code (Bytes.unsafe_get b byte) in
+  let cur' = if v then cur lor (1 lsl off) else cur land lnot (1 lsl off) in
+  Bytes.unsafe_set b byte (Char.unsafe_chr cur')
+
+let bit_read b i =
+  (Char.code (Bytes.unsafe_get b (i lsr 3)) lsr (i land 7)) land 1 <> 0
+
+(* The zero-allocation fast path.  Symbols are bound-checked in the
+   backward pass (the only unvalidated input); given that and the
+   compile-time Dfa.validate, every unsafe array access below is in
+   range — see Dfa.unsafe_step. *)
 let matcher_splits m w =
   let n = Array.length w in
   let mark = m.expr.mark in
-  (* suffix_ok.(i) ⇔ w[i..n) ∈ L(E2); computed right-to-left. *)
-  let suffix_ok = Array.make (n + 1) false in
-  let state = ref m.right_rev_dfa.Dfa.start in
-  suffix_ok.(n) <- m.right_rev_dfa.Dfa.finals.(!state);
+  let rd = m.right_rev_dfa and ld = m.left_dfa in
+  let alpha = rd.Dfa.alpha_size in
+  (* suffix_ok bit i ⇔ w[i..n) ∈ L(E2); computed right-to-left. *)
+  let suffix_ok = get_scratch (n + 1) in
+  let state = ref rd.Dfa.start in
+  bit_write suffix_ok n (Array.unsafe_get rd.Dfa.finals !state);
   for i = n - 1 downto 0 do
-    state := Dfa.step m.right_rev_dfa !state w.(i);
-    suffix_ok.(i) <- m.right_rev_dfa.Dfa.finals.(!state)
+    let a = Array.unsafe_get w i in
+    if a < 0 || a >= alpha then
+      invalid_arg "Extraction.matcher_splits: symbol out of range";
+    state := Dfa.unsafe_step rd !state a;
+    bit_write suffix_ok i (Array.unsafe_get rd.Dfa.finals !state)
   done;
   let acc = ref [] in
-  let lstate = ref m.left_dfa.Dfa.start in
+  let lstate = ref ld.Dfa.start in
   for i = 0 to n - 1 do
-    if w.(i) = mark && m.left_dfa.Dfa.finals.(!lstate) && suffix_ok.(i + 1)
+    let a = Array.unsafe_get w i in
+    if a = mark && Array.unsafe_get ld.Dfa.finals !lstate
+       && bit_read suffix_ok (i + 1)
     then acc := i :: !acc;
-    lstate := Dfa.step m.left_dfa !lstate w.(i)
+    lstate := Dfa.unsafe_step ld !lstate a
+  done;
+  List.rev !acc
+
+(* Allocating reference for the fast path: same two sweeps, but a fresh
+   Bitvec per call and only safe accesses.  The sched oracle layer
+   checks matcher_splits ≡ matcher_splits_fresh ≡ splits. *)
+let matcher_splits_fresh m w =
+  let n = Array.length w in
+  let mark = m.expr.mark in
+  let rd = m.right_rev_dfa and ld = m.left_dfa in
+  let suffix_ok = Bitvec.create (n + 1) in
+  let state = ref rd.Dfa.start in
+  if rd.Dfa.finals.(!state) then Bitvec.set suffix_ok n;
+  for i = n - 1 downto 0 do
+    state := Dfa.step rd !state w.(i);
+    if rd.Dfa.finals.(!state) then Bitvec.set suffix_ok i
+  done;
+  let acc = ref [] in
+  let lstate = ref ld.Dfa.start in
+  for i = 0 to n - 1 do
+    if w.(i) = mark && ld.Dfa.finals.(!lstate) && Bitvec.mem suffix_ok (i + 1)
+    then acc := i :: !acc;
+    lstate := Dfa.step ld !lstate w.(i)
   done;
   List.rev !acc
 
@@ -129,13 +195,17 @@ let matcher_stream_splits m syms =
     invalid_arg "Extraction.matcher_stream_splits: right side is not Σ*";
   let mark = m.expr.mark in
   let dfa = m.left_dfa in
-  (* unfold over (remaining stream, left-DFA state, position) *)
+  let alpha = dfa.Dfa.alpha_size in
+  (* unfold over (remaining stream, left-DFA state, position); the
+     symbol check licenses unsafe_step as in matcher_splits *)
   let rec next (syms, state, i) () =
     match syms () with
     | Seq.Nil -> Seq.Nil
     | Seq.Cons (a, rest) ->
-        let hit = a = mark && dfa.Dfa.finals.(state) in
-        let st' = (rest, Dfa.step dfa state a, i + 1) in
+        if a < 0 || a >= alpha then
+          invalid_arg "Extraction.matcher_stream_splits: symbol out of range";
+        let hit = a = mark && Array.unsafe_get dfa.Dfa.finals state in
+        let st' = (rest, Dfa.unsafe_step dfa state a, i + 1) in
         if hit then Seq.Cons (i, next st') else next st' ()
   in
   next (syms, dfa.Dfa.start, 0)

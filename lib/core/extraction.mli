@@ -57,11 +57,30 @@ val extract : t -> Word.t -> [ `Unique of int | `Ambiguous of int list | `No_mat
 type matcher
 (** Pre-compiled form: the left language's DFA is run forward and the
     reversed right language's DFA backward, so all split positions of a
-    word of length n are found in O(n) transitions. *)
+    word of length n are found in O(n) transitions.  A matcher is
+    immutable once {!compile} returns (frozen before any parallel
+    fan-out), so one matcher may be shared freely across the [Batch]
+    pool's domains. *)
 
 val compile : t -> matcher
+(** Build (and {!Dfa.validate}) both DFAs.  Validation establishes the
+    structural invariants the zero-allocation hot path of
+    {!matcher_splits} relies on. *)
+
 val matcher_expr : matcher -> t
+
 val matcher_splits : matcher -> Word.t -> int list
+(** All split positions, ascending.  Hot path: the suffix bitset lives
+    in per-domain scratch reused across calls (grown geometrically), so
+    no per-word heap allocation happens beyond the result list.
+    @raise Invalid_argument on a symbol outside the alphabet. *)
+
+val matcher_splits_fresh : matcher -> Word.t -> int list
+(** Same answers as {!matcher_splits}, but allocates a fresh bitset per
+    call and uses only bounds-checked accesses — the reference
+    implementation the sched oracle layer compares the scratch path
+    against. *)
+
 val matcher_extract :
   matcher -> Word.t -> [ `Unique of int | `Ambiguous of int list | `No_match ]
 

@@ -12,67 +12,78 @@ type key =
    limits how much of a large delta array feeds the hash — a collision
    concern, not a correctness one. *)
 
-type counter = { mutable hits : int; mutable misses : int }
+(* Per-stage hit/miss counters are atomics: a stats bump from a batch
+   worker never serializes against another domain's lookup. *)
+let stage_id = function
+  | Compile -> 0
+  | Determinize -> 1
+  | Minimize -> 2
+  | Quotient -> 3
 
-let counters =
-  [|
-    { hits = 0; misses = 0 };
-    { hits = 0; misses = 0 };
-    { hits = 0; misses = 0 };
-    { hits = 0; misses = 0 };
-  |]
+let hit_counters = Array.init 4 (fun _ -> Atomic.make 0)
+let miss_counters = Array.init 4 (fun _ -> Atomic.make 0)
 
-let counter_of = function
-  | Compile -> counters.(0)
-  | Determinize -> counters.(1)
-  | Minimize -> counters.(2)
-  | Quotient -> counters.(3)
+(* The LRU is sharded by key hash: a key always lands in the same
+   shard, so sharding is invisible to callers — it only splits the one
+   global lock into [shard_count] independent ones.  Correctness is
+   untouched because every cached function is a pure function of its
+   key: which shard (or whether eviction timing differs between shard
+   layouts) can only change what gets recomputed, never what a lookup
+   answers. *)
+let shard_bits = 4
+let shard_count = 1 lsl shard_bits
+
+type shard = { m : Mutex.t; lru : (key, Dfa.t) Lru.t }
 
 let default_capacity = 4096
-let cache : (key, Dfa.t) Lru.t = Lru.create ~cap:default_capacity
-let enabled_flag = ref true
-let mutex = Mutex.create ()
+
+(* capacity as configured by the caller; shards each hold a ceiling
+   share so the total stays >= the configured bound *)
+let configured_capacity = Atomic.make default_capacity
+let shard_cap total = max 1 ((total + shard_count - 1) / shard_count)
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { m = Mutex.create (); lru = Lru.create ~cap:(shard_cap default_capacity) })
+
+let enabled_flag = Atomic.make true
+let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
 
 let cached stage key compute =
   (* Fault-injection probe (tests only): an armed Cache_lookup site can
      make any memoized stage blow up deterministically, exercising the
      degradation paths of Runtime/Batch callers. *)
   Guard_faults.point Guard_faults.Cache_lookup;
-  if not !enabled_flag then compute ()
+  if not (Atomic.get enabled_flag) then compute ()
   else
-    let c = counter_of stage in
-    match
-      Mutex.protect mutex (fun () ->
-          match Lru.find cache key with
-          | Some v ->
-              c.hits <- c.hits + 1;
-              Some v
-          | None ->
-              c.misses <- c.misses + 1;
-              None)
-    with
-    | Some v -> v
+    let s = shard_of key in
+    match Mutex.protect s.m (fun () -> Lru.find s.lru key) with
+    | Some v ->
+        Atomic.incr hit_counters.(stage_id stage);
+        v
     | None ->
+        Atomic.incr miss_counters.(stage_id stage);
         (* compute outside the lock: Compile recurses into the cache *)
         let v = compute () in
-        Mutex.protect mutex (fun () -> Lru.add cache key v);
+        Mutex.protect s.m (fun () -> Lru.add s.lru key v);
         v
 
-let set_capacity n = Mutex.protect mutex (fun () -> Lru.set_capacity cache n)
-let capacity () = Mutex.protect mutex (fun () -> Lru.capacity cache)
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let set_capacity n =
+  Atomic.set configured_capacity n;
+  let per_shard = shard_cap n in
+  Array.iter
+    (fun s -> Mutex.protect s.m (fun () -> Lru.set_capacity s.lru per_shard))
+    shards
+
+let capacity () = Atomic.get configured_capacity
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 let counts stage =
-  Mutex.protect mutex (fun () ->
-      let c = counter_of stage in
-      (c.hits, c.misses))
+  let i = stage_id stage in
+  (Atomic.get hit_counters.(i), Atomic.get miss_counters.(i))
 
 let clear () =
-  Mutex.protect mutex (fun () ->
-      Lru.clear cache;
-      Array.iter
-        (fun c ->
-          c.hits <- 0;
-          c.misses <- 0)
-        counters)
+  Array.iter (fun s -> Mutex.protect s.m (fun () -> Lru.clear s.lru)) shards;
+  Array.iter (fun c -> Atomic.set c 0) hit_counters;
+  Array.iter (fun c -> Atomic.set c 0) miss_counters

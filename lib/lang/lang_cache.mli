@@ -5,8 +5,8 @@
     {e canonical minimal} input DFAs (plus an operation tag), so two
     [Lang.t] values denoting the same language — regardless of how they
     were built — share one cached result; values are the minimized
-    result DFAs.  A single bounded LRU backs all stages, with per-stage
-    hit/miss counters for {!Runtime.Stats}.
+    result DFAs.  A bounded LRU backs all stages, with per-stage
+    atomic hit/miss counters for {!Runtime.Stats}.
 
     Soundness: every cached function is a deterministic function of its
     key — the result DFA depends only on the input DFA structures (and
@@ -14,9 +14,15 @@
     caller's [Lang.t] carries separately.  Cached DFAs are immutable
     after construction, so sharing them is safe.
 
-    All entry points serialize on one mutex; the cached computation
-    itself runs {e outside} the lock (the regex→language pipeline
-    re-enters the cache recursively). *)
+    Concurrency: the LRU is {e sharded} by key hash — each key always
+    maps to the same shard, each shard has its own mutex, so concurrent
+    domains (the {!Batch} pool) only contend when they touch the same
+    slice of the key space.  Sharding cannot change cached answers:
+    lookups for a key are always served by that key's shard, and every
+    cached function is pure, so shard layout only affects what gets
+    {e recomputed} (eviction timing), never what a lookup returns.  The
+    cached computation itself runs {e outside} any lock (the
+    regex→language pipeline re-enters the cache recursively). *)
 
 (** Pipeline stage, for stats attribution. *)
 type stage =
@@ -41,7 +47,10 @@ val cached : stage -> key -> (unit -> Dfa.t) -> Dfa.t
 (** {1 Configuration and introspection} *)
 
 val set_capacity : int -> unit
-(** Bound on the number of cached DFAs (default 4096). *)
+(** Bound on the number of cached DFAs (default 4096).  Split evenly
+    over the shards (ceiling division), so the effective total is
+    [shards * ceil(n / shards)] — at least [n], within a shard count of
+    it. *)
 
 val capacity : unit -> int
 

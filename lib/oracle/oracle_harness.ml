@@ -19,6 +19,7 @@ let all =
     { name = "synthesis"; tests = Oracle_synthesis.tests };
     { name = "runtime"; tests = Oracle_runtime.tests };
     { name = "guard"; tests = Oracle_guard.tests };
+    { name = "sched"; tests = Oracle_sched.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

@@ -19,11 +19,12 @@ type outcome = {
 type suite = { name : string; tests : count:int -> QCheck.Test.t list }
 
 val all : suite list
-(** The nine oracle layers: membership, counting, quotient-laws,
+(** The ten oracle layers: membership, counting, quotient-laws,
     ambiguity, maximality, order-laws, synthesis, runtime (the cached
     pipeline vs. the direct one), guard (budgeted verdicts vs.
     unbounded ones, fuel monotonicity, fault-injected batch
-    isolation). *)
+    isolation), sched (the work-stealing pool vs. sequential
+    [List.map], matcher scratch path vs. its allocating reference). *)
 
 val run : seed:int -> budget:int -> suite list -> outcome list
 (** [run ~seed ~budget suites] — [budget] is the total number of fuzz

@@ -21,26 +21,19 @@ let eval_item f i x =
   | v -> Ok v
   | exception e -> Error e
 
-(* Shared chunked scheduler: one domain per contiguous chunk, results
-   written to distinct indices, publication via Domain.join.  Every
-   item is evaluated (no early abort), so the result array is total and
-   identical for every job count. *)
+(* Thin client of the persistent pool: results are written to distinct
+   indices of one array, so the result is total, in input order, and
+   identical for every job count — the pool only decides which domain
+   executes which index, never what lands where.  eval_item never
+   raises, which is the pool's run_item contract. *)
 let run_isolated ~jobs f arr =
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
   if jobs <= 1 then Array.mapi (fun i x -> eval_item f i x) arr
   else begin
     let results = Array.make n (Error Exit) in
-    let bounds = chunk_bounds ~jobs n in
-    let work c () =
-      let lo, hi = bounds.(c) in
-      for i = lo to hi - 1 do
-        results.(i) <- eval_item f i arr.(i)
-      done
-    in
-    let spawned = Array.init (jobs - 1) (fun c -> Domain.spawn (work (c + 1))) in
-    work 0 ();
-    Array.iter Domain.join spawned;
+    Pool.run ~participants:jobs n (fun i ->
+        results.(i) <- eval_item f i arr.(i));
     results
   end
 

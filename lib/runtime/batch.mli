@@ -1,24 +1,26 @@
 (** Multicore batch execution (compile once, evaluate many).
 
-    A deliberately simple chunked scheduler over OCaml 5 domains: the
-    input list is split into [jobs] contiguous chunks, one domain per
-    chunk, no work stealing.  Extraction cost is near-uniform per
-    document, so static chunking matches dynamic scheduling without any
-    cross-domain synchronization; results come back in input order, so
-    output is bit-identical for every job count.
+    A thin client of the persistent work-stealing pool ({!Pool}): the
+    input list is seeded into per-participant deques as [jobs]
+    contiguous ranges, and participants that drain their range steal
+    from the others — so a skewed or adversarial item delays only
+    itself, not the rest of a static chunk.  Worker domains persist
+    across calls; no [Domain.spawn] happens per batch after the first.
+    Results are written to per-index cells and come back in input
+    order, so output is bit-identical for every job count and every
+    schedule.
 
     Items are evaluated in {e isolation}: an exception raised by one
     application is caught at the item boundary and recorded in that
     item's result cell — it never kills the worker domain, the other
-    items of the chunk, or the batch.  {!map_isolated} surfaces the
-    per-item cells; {!map} keeps the historical raising interface on
-    top of them.
+    items, or the batch.  {!map_isolated} surfaces the per-item cells;
+    {!map} keeps the historical raising interface on top of them.
 
     The mapped function runs concurrently in several domains — callers
     pass pure functions over immutable data (compiled matchers, parsed
-    documents).  The {!Runtime}/{!Lang_cache} memo tables are
-    mutex-protected, so even a function that re-enters the cached
-    pipeline is safe, just serialized. *)
+    documents).  The {!Runtime}/{!Lang_cache} memo tables are sharded
+    and mutex-protected per shard, so even a function that re-enters
+    the cached pipeline is safe, and mostly contention-free. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the default parallelism. *)
@@ -39,10 +41,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     particular on single-core hosts, where the recommendation is 1)
     run sequentially.  If any application raises, the first failing
     item's exception {e in input order} is re-raised after every item
-    has been evaluated and all domains are joined — the job count never
-    changes which exception surfaces. *)
+    has been evaluated — the job count never changes which exception
+    surfaces. *)
 
 val chunk_bounds : jobs:int -> int -> (int * int) array
 (** [chunk_bounds ~jobs n] — the [(lo, hi)] half-open index ranges the
-    scheduler assigns, exposed for tests: ranges partition [0..n), are
-    contiguous, and differ in size by at most one. *)
+    per-participant deques are {e seeded} with (work stealing can move
+    items between participants afterwards), exposed for tests: ranges
+    partition [0..n), are contiguous, and differ in size by at most
+    one. *)

@@ -1,0 +1,255 @@
+(* Persistent work-stealing domain pool.
+
+   One set of worker domains is spawned lazily on first parallel batch
+   and reused for every batch after it — the Domain.spawn/join cost
+   that made per-call chunking slower at jobs=4 than jobs=1 (E12) is
+   paid once per process, not once per batch.  Items are scheduled
+   through per-participant deques seeded with contiguous ranges; a
+   participant that drains its own range steals from the back of the
+   others, so one adversarial item skews only its claimer, never a
+   whole static chunk. *)
+
+(* A deque over a fixed index range [lo, hi).  No items are ever
+   pushed after creation (batches do not spawn work), so the deque is
+   just two cursors moving toward each other, packed into one Atomic
+   int (front in the high bits, back in the low bits) so a claim is a
+   single CAS and every index is claimed exactly once.  Ranges are
+   bounded by the batch size, far below the 2^31 cursor ceiling. *)
+module Deque = struct
+  type t = int Atomic.t
+
+  let cursor_bits = 31
+  let mask = (1 lsl cursor_bits) - 1
+  let make ~lo ~hi : t = Atomic.make ((lo lsl cursor_bits) lor hi)
+
+  (* owner end *)
+  let rec take_front (t : t) =
+    let s = Atomic.get t in
+    let f = s lsr cursor_bits and b = s land mask in
+    if f >= b then None
+    else if Atomic.compare_and_set t s (((f + 1) lsl cursor_bits) lor b) then
+      Some f
+    else take_front t
+
+  (* thief end *)
+  let rec steal_back (t : t) =
+    let s = Atomic.get t in
+    let f = s lsr cursor_bits and b = s land mask in
+    if f >= b then None
+    else if Atomic.compare_and_set t s ((f lsl cursor_bits) lor (b - 1)) then
+      Some (b - 1)
+    else steal_back t
+end
+
+type job = {
+  deques : Deque.t array; (* one per participant *)
+  participants : int;
+  run_item : int -> unit; (* contract: must not raise *)
+  remaining : int Atomic.t; (* items not yet executed *)
+  done_m : Mutex.t;
+  done_cv : Condition.t;
+}
+
+type t = {
+  m : Mutex.t; (* protects gen / current / shutdown *)
+  cv : Condition.t;
+  mutable gen : int;
+  mutable current : job option;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+  mutable n_workers : int;
+  submit : Mutex.t; (* serializes whole-pool batch submissions *)
+}
+
+let pool =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    gen = 0;
+    current = None;
+    shutdown = false;
+    workers = [];
+    n_workers = 0;
+    submit = Mutex.create ();
+  }
+
+(* --- statistics --- *)
+
+let batches_c = Atomic.make 0
+let items_c = Atomic.make 0
+let steals_c = Atomic.make 0
+
+type stats = { workers : int; batches : int; items : int; steals : int }
+
+let stats () =
+  {
+    workers = pool.n_workers;
+    batches = Atomic.get batches_c;
+    items = Atomic.get items_c;
+    steals = Atomic.get steals_c;
+  }
+
+let reset_stats () =
+  Atomic.set batches_c 0;
+  Atomic.set items_c 0;
+  Atomic.set steals_c 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf "pool stats:@.";
+  Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "workers" s.workers "batches"
+    s.batches;
+  Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "items" s.items "steals"
+    s.steals
+
+(* --- the scheduler --- *)
+
+(* Set while a domain is executing pool work: a nested [run] from
+   inside an item must not wait on the pool it is part of, so it
+   degrades to the sequential path (deadlock-free by construction). *)
+let in_worker : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let finish_item j =
+  (* last decrement wakes the submitter *)
+  if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
+    Mutex.lock j.done_m;
+    Condition.broadcast j.done_cv;
+    Mutex.unlock j.done_m
+  end
+
+let execute j i =
+  (* run_item must not raise (Batch captures per-item exceptions below
+     this layer); if it somehow does, the item still counts as executed
+     or the submitter would wait forever. *)
+  (try j.run_item i with _ -> ());
+  Atomic.incr items_c;
+  finish_item j
+
+(* Participant p: drain the own deque from the front, then steal from
+   the back of the others (round-robin from the right neighbour,
+   staying on a victim until it dries).  All deques empty means every
+   item has been claimed — nothing left to do for this participant. *)
+let work j p =
+  let dq = j.deques.(p) in
+  let rec own () =
+    match Deque.take_front dq with
+    | Some i ->
+        execute j i;
+        own ()
+    | None -> scan 1
+  and scan k =
+    if k < j.participants then
+      match Deque.steal_back j.deques.((p + k) mod j.participants) with
+      | Some i ->
+          Atomic.incr steals_c;
+          execute j i;
+          scan k
+      | None -> scan (k + 1)
+  in
+  let flag = Domain.DLS.get in_worker in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) (fun () -> own ())
+
+let rec worker_loop w last_gen =
+  Mutex.lock pool.m;
+  while pool.gen = last_gen && not pool.shutdown do
+    Condition.wait pool.cv pool.m
+  done;
+  let gen = pool.gen and job = pool.current and stop = pool.shutdown in
+  Mutex.unlock pool.m;
+  if not stop then begin
+    (* worker w is participant w+1; spare workers sit the job out so
+       the effective parallelism honors the requested job count *)
+    (match job with
+    | Some j when w + 1 < j.participants -> work j (w + 1)
+    | _ -> ());
+    worker_loop w gen
+  end
+
+let shutdown () =
+  Mutex.lock pool.m;
+  pool.shutdown <- true;
+  Condition.broadcast pool.cv;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.workers;
+  pool.workers <- [];
+  pool.n_workers <- 0;
+  Mutex.lock pool.m;
+  pool.shutdown <- false;
+  Mutex.unlock pool.m
+
+let at_exit_registered = ref false
+
+(* called under pool.submit; gen is stable because submissions are
+   serialized, so a fresh worker's last_gen can be read lock-free *)
+let ensure_workers k =
+  if pool.n_workers < k then begin
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit shutdown
+    end;
+    for w = pool.n_workers to k - 1 do
+      let gen0 = pool.gen in
+      pool.workers <- Domain.spawn (fun () -> worker_loop w gen0) :: pool.workers
+    done;
+    pool.n_workers <- k
+  end
+
+let max_participants = max 16 (Domain.recommended_domain_count ())
+
+let sequential n run_item =
+  for i = 0 to n - 1 do
+    run_item i
+  done
+
+let run ~participants n run_item =
+  if n > 0 then begin
+    let participants = min (min participants n) max_participants in
+    if
+      participants <= 1
+      || !(Domain.DLS.get in_worker)
+      || n >= Deque.mask
+      || not (Mutex.try_lock pool.submit)
+    then sequential n run_item
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock pool.submit)
+        (fun () ->
+          ensure_workers (participants - 1);
+          (* same contiguous seeding as the old static chunking — the
+             deques only change who finishes a range, never who is
+             assigned which result index *)
+          let base = n / participants and extra = n mod participants in
+          let deques =
+            Array.init participants (fun c ->
+                let lo = (c * base) + min c extra in
+                let hi = lo + base + if c < extra then 1 else 0 in
+                Deque.make ~lo ~hi)
+          in
+          let job =
+            {
+              deques;
+              participants;
+              run_item;
+              remaining = Atomic.make n;
+              done_m = Mutex.create ();
+              done_cv = Condition.create ();
+            }
+          in
+          Atomic.incr batches_c;
+          Mutex.lock pool.m;
+          pool.current <- Some job;
+          pool.gen <- pool.gen + 1;
+          Condition.broadcast pool.cv;
+          Mutex.unlock pool.m;
+          (* the submitter is participant 0: it works too, so a batch
+             always completes even if every worker is lagging *)
+          work job 0;
+          Mutex.lock job.done_m;
+          while Atomic.get job.remaining > 0 do
+            Condition.wait job.done_cv job.done_m
+          done;
+          Mutex.unlock job.done_m)
+  end
+
+let size () = pool.n_workers

@@ -39,10 +39,31 @@ type decision_value =
   | D_verdict of Maximality.verdict
   | D_maximize of (Extraction.t * Synthesis.strategy, Synthesis.failure) result
 
-let decisions : (decision_key, decision_value) Lru.t = Lru.create ~cap:4096
-let decision_hits = ref 0
-let decision_misses = ref 0
-let mutex = Mutex.create ()
+(* The verdict LRU is sharded by key hash, like {!Lang_cache}: a key
+   always lands in the same shard, so concurrent domains only contend
+   on same-shard keys; hit/miss counters are atomics.  Sharding cannot
+   change cached answers — decisions are pure functions of their key,
+   so shard layout only moves eviction boundaries (what gets
+   recomputed), never what a hit returns. *)
+let shard_count = 16
+
+type decision_shard = {
+  m : Mutex.t;
+  lru : (decision_key, decision_value) Lru.t;
+}
+
+let decision_capacity_default = 4096
+let shard_cap total = max 1 ((total + shard_count - 1) / shard_count)
+
+let decision_shards =
+  Array.init shard_count (fun _ ->
+      {
+        m = Mutex.create ();
+        lru = Lru.create ~cap:(shard_cap decision_capacity_default);
+      })
+
+let decision_hits = Atomic.make 0
+let decision_misses = Atomic.make 0
 
 let decision_key (e : Extraction.t) op =
   let _, left = Regex_hc.intern e.Extraction.left in
@@ -59,20 +80,15 @@ let decide e op compute =
   if not (Lang_cache.enabled ()) then compute ()
   else
     let key = decision_key e op in
-    match
-      Mutex.protect mutex (fun () ->
-          match Lru.find decisions key with
-          | Some v ->
-              incr decision_hits;
-              Some v
-          | None ->
-              incr decision_misses;
-              None)
-    with
-    | Some v -> v
+    let s = decision_shards.(Hashtbl.hash key land (shard_count - 1)) in
+    match Mutex.protect s.m (fun () -> Lru.find s.lru key) with
+    | Some v ->
+        Atomic.incr decision_hits;
+        v
     | None ->
+        Atomic.incr decision_misses;
         let v = compute () in
-        Mutex.protect mutex (fun () -> Lru.add decisions key v);
+        Mutex.protect s.m (fun () -> Lru.add s.lru key v);
         v
 
 (* --- configuration --- *)
@@ -85,14 +101,15 @@ let stats () =
     determinize = c (Lang_cache.counts Lang_cache.Determinize);
     minimize = c (Lang_cache.counts Lang_cache.Minimize);
     quotient = c (Lang_cache.counts Lang_cache.Quotient);
-    decision =
-      c
-        (Mutex.protect mutex (fun () -> (!decision_hits, !decision_misses)));
+    decision = c (Atomic.get decision_hits, Atomic.get decision_misses);
   }
 
 let set_cache_size n =
   Lang_cache.set_capacity n;
-  Mutex.protect mutex (fun () -> Lru.set_capacity decisions n)
+  let per_shard = shard_cap n in
+  Array.iter
+    (fun s -> Mutex.protect s.m (fun () -> Lru.set_capacity s.lru per_shard))
+    decision_shards
 
 let cache_size () = Lang_cache.capacity ()
 let set_enabled = Lang_cache.set_enabled
@@ -101,10 +118,11 @@ let enabled = Lang_cache.enabled
 let reset () =
   Lang_cache.clear ();
   Regex_hc.reset ();
-  Mutex.protect mutex (fun () ->
-      Lru.clear decisions;
-      decision_hits := 0;
-      decision_misses := 0)
+  Array.iter
+    (fun s -> Mutex.protect s.m (fun () -> Lru.clear s.lru))
+    decision_shards;
+  Atomic.set decision_hits 0;
+  Atomic.set decision_misses 0
 
 (* --- cached pipeline --- *)
 

@@ -16,8 +16,11 @@
     Answers are observationally identical to the direct [lib/core]
     path — the [lib/oracle] campaign cross-checks this property —
     because every cached stage is a deterministic function of its key
-    and all cached values are immutable.  All state is process-global
-    and mutex-protected; see {!Batch} for running extraction over many
+    and all cached values are immutable.  All state is process-global;
+    the LRUs are {e sharded} by key hash (one mutex per shard, atomic
+    counters), so the {!Batch} pool's domains contend only on
+    same-shard keys — sharding moves eviction boundaries, never what a
+    hit returns.  See {!Batch} for running extraction over many
     documents in parallel. *)
 
 (** {1 Statistics} *)
@@ -43,7 +46,9 @@ val stats : unit -> Stats.t
 
 val set_cache_size : int -> unit
 (** Capacity of the pipeline LRU and of the verdict LRU (each holds at
-    most this many entries).  Default 4096. *)
+    least this many entries; the sharded layout rounds the per-shard
+    share up, so the effective bound is within a shard count of [n]).
+    Default 4096. *)
 
 val cache_size : unit -> int
 

@@ -82,8 +82,11 @@ val extract_batch :
   Html_tree.doc list ->
   (Html_tree.path, extract_error) result list
 (** Extract from every document, in input order, across up to [jobs]
-    domains ({!Batch.map_isolated}; default {!Batch.recommended_jobs},
-    with a sequential fallback when that is 1).  The result list is
+    domains ({!Batch.map_isolated}, a thin client of the persistent
+    work-stealing pool; default {!Batch.recommended_jobs}, with a
+    sequential fallback when that is 1).  The wrapper is compiled —
+    frozen into its immutable matcher table — {e before} the parallel
+    fan-out, so workers share it read-only.  The result list is
     identical for every [jobs] value, and a poisoned document degrades
     to its own [Error] cell ([Worker_error]) without affecting any
     other item.  When [fuel] (and optionally [deadline_ms] / [retries])

@@ -31,12 +31,15 @@ order:
   v3.html: target at 2.0.1
 
 So does the default (one domain per recommended core), and --stats
-reports the cache counters on stderr without touching stdout:
+reports the cache counters and the domain-pool counters on stderr
+without touching stdout:
 
   $ rexdex batch -w w.rexdex --cache-size 256 --stats sample1.html 2> stats.txt
   sample1.html: target at 2.1
   $ grep -c "hits" stats.txt > /dev/null && echo has-stats
   has-stats
+  $ grep -c "pool stats" stats.txt > /dev/null && echo has-pool-stats
+  has-pool-stats
 
 Error paths: a corrupt wrapper file is rejected, and a page the
 wrapper cannot match fails with exit 1:

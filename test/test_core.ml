@@ -518,6 +518,36 @@ let test_stream_requires_sigma_star () =
   | exception Invalid_argument _ -> ()
   | (_ : int Seq.t) -> Alcotest.fail "must reject non-Sigma* right sides"
 
+let test_stream_edge_cases () =
+  let e = ex "([^p])* <p> .*" in
+  let m = Extraction.compile e in
+  let stream word =
+    List.of_seq (Extraction.matcher_stream_splits m (Array.to_seq word))
+  in
+  (* empty word: no positions, no crash *)
+  Alcotest.(check (list int)) "empty word" [] (stream [||]);
+  (* mark at position 0: ε ∈ L(left), so position 0 splits *)
+  let w0 = w ab_pq "pqq" in
+  Alcotest.(check (list int)) "mark at 0" [ 0 ] (stream w0);
+  check_bool "agrees with batch at 0" true
+    (stream w0 = Extraction.matcher_splits m w0);
+  (* mark at the last position n-1 *)
+  let wn = w ab_pq "qqp" in
+  Alcotest.(check (list int)) "mark at n-1" [ 2 ] (stream wn);
+  check_bool "agrees with batch at n-1" true
+    (stream wn = Extraction.matcher_splits m wn)
+
+let test_stream_symbol_out_of_range () =
+  let e = ex "([^p])* <p> .*" in
+  let m = Extraction.compile e in
+  let consume s = List.of_seq (Extraction.matcher_stream_splits m s) in
+  (match consume (List.to_seq [ 0; 99; 1 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must reject out-of-alphabet symbols");
+  match consume (List.to_seq [ 0; -1 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must reject negative symbols"
+
 let test_stream_is_lazy () =
   (* consuming only the first element must not force the rest *)
   let e = ex "([^p])* <p> .*" in
@@ -613,6 +643,9 @@ let () =
           Alcotest.test_case "stream = batch" `Quick test_stream_splits;
           Alcotest.test_case "requires Sigma* right" `Quick
             test_stream_requires_sigma_star;
+          Alcotest.test_case "edge cases" `Quick test_stream_edge_cases;
+          Alcotest.test_case "symbol out of range" `Quick
+            test_stream_symbol_out_of_range;
           Alcotest.test_case "laziness" `Quick test_stream_is_lazy;
         ] );
     ]
