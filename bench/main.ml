@@ -406,24 +406,26 @@ let e11 () =
 
 (* ----- E12: compiled-extraction runtime — cache and multicore batch ----- *)
 
+(* Decision-procedure corpus: the E2/E3/E4 families at wrapper-like
+   sizes.  Every expression funnels through the shared regex→DFA
+   pipeline, so a warm cache turns the whole sweep into LRU hits.
+   Shared by E12 (cache/batch throughput) and E15 (obs overhead). *)
+let decision_corpus () =
+  List.concat
+    [
+      List.map
+        (fun k -> ex (Printf.sprintf "(q p){%d} <p> .*" k))
+        [ 2; 4; 8; 16 ];
+      List.map (fun k -> ex (Printf.sprintf "p* p{%d} <p> p*" k)) [ 2; 4; 8 ];
+      List.map
+        (fun k -> ex (Printf.sprintf "([^p])* <p> (q p){%d} (p | q)*" k))
+        [ 2; 4; 6 ];
+      [ ex "([^p])* p ([^p])* <p> .*"; ex "(q | q q) p <p> .*" ];
+    ]
+
 let e12 () =
   banner "E12" "runtime layer: cold vs warm cache, multicore batch extraction";
-  (* Decision-procedure corpus: the E2/E3/E4 families at wrapper-like
-     sizes.  Every expression funnels through the shared regex→DFA
-     pipeline, so a warm cache turns the whole sweep into LRU hits. *)
-  let exprs =
-    List.concat
-      [
-        List.map
-          (fun k -> ex (Printf.sprintf "(q p){%d} <p> .*" k))
-          [ 2; 4; 8; 16 ];
-        List.map (fun k -> ex (Printf.sprintf "p* p{%d} <p> p*" k)) [ 2; 4; 8 ];
-        List.map
-          (fun k -> ex (Printf.sprintf "([^p])* <p> (q p){%d} (p | q)*" k))
-          [ 2; 4; 6 ];
-        [ ex "([^p])* p ([^p])* <p> .*"; ex "(q | q q) p <p> .*" ];
-      ]
-  in
+  let exprs = decision_corpus () in
   let run_all () =
     List.iter
       (fun e ->
@@ -780,10 +782,113 @@ let e14 () =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+(* ----- E15: observability overhead (lib/obs) ----- *)
+
+let e15 () =
+  banner "E15" "obs overhead: disabled path, traced path, null-span cost";
+  Printf.printf
+    "the tracing layer must be free when off: the disabled path is a few\n\
+     branch instructions, no allocation, no mutex.  We time the E12 cold\n\
+     decision corpus three ways and microbench the null span.\n\n";
+  let exprs = decision_corpus () in
+  let run_all () =
+    List.iter
+      (fun e ->
+        ignore (Sys.opaque_identity (Runtime.is_ambiguous e));
+        ignore (Sys.opaque_identity (Runtime.check_maximality e)))
+      exprs
+  in
+  let cold () =
+    Runtime.reset ();
+    run_all ()
+  in
+  (* 1. baseline: obs never enabled in this process segment. *)
+  Obs.set_enabled false;
+  Obs.reset ();
+  let baseline_ms = time_ms ~reps:7 cold in
+  (* 2. disabled after residue: tracing was on earlier in the process
+     (buffers allocated, providers registered), then turned back off.
+     This is the state a long-lived process sits in after one traced
+     request — it must cost the same as never-enabled. *)
+  Obs.set_enabled true;
+  cold ();
+  Obs.set_enabled false;
+  Obs.reset ();
+  let disabled_ms = time_ms ~reps:7 cold in
+  (* 3. traced: spans, counters and histograms all live.  Obs.reset in
+     the timed body keeps the per-domain span buffers from saturating
+     (its cost is charged to the traced row — conservative). *)
+  Obs.set_enabled true;
+  let traced_ms =
+    time_ms ~reps:7 (fun () ->
+        Obs.reset ();
+        cold ())
+  in
+  let metrics = Obs.Json.to_string (Obs.metrics_json ()) in
+  Obs.set_enabled false;
+  Obs.reset ();
+  let pct base x = (x -. base) /. base *. 100.0 in
+  Printf.printf "decision corpus: %d expressions, cold runs (reps 7)\n"
+    (List.length exprs);
+  Printf.printf "| configuration | median ms | overhead vs baseline |\n";
+  Printf.printf "|---|---|---|\n";
+  Printf.printf "| obs never enabled     | %8.2f | — |\n" baseline_ms;
+  Printf.printf "| obs disabled (residue)| %8.2f | %+.1f%% |\n" disabled_ms
+    (pct baseline_ms disabled_ms);
+  Printf.printf "| obs traced            | %8.2f | %+.1f%% |\n" traced_ms
+    (pct baseline_ms traced_ms);
+  (* Null-span microbench: enter/exit + a metric charge with tracing
+     off.  Both the time and the allocation must be ~0 per call. *)
+  let iters = 1_000_000 in
+  let null_bench () =
+    for i = 1 to iters do
+      let sp = Obs.Span.enter Obs.Span.Determinize in
+      Obs.Metric.charge ~stage:"determinize" ~budgeted:false 1;
+      Obs.Span.exit_n sp i
+    done
+  in
+  ignore (Sys.opaque_identity (null_bench ()));
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  null_bench ();
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  let null_span_ns = (t1 -. t0) *. 1e9 /. float_of_int iters in
+  let null_span_minor_words = (w1 -. w0) /. float_of_int iters in
+  Printf.printf
+    "\nnull span (disabled): %.1f ns/call, %.3f minor words/call\n"
+    null_span_ns null_span_minor_words;
+  Printf.printf
+    "shape check: the disabled rows agree to noise and the null span\n\
+     neither allocates nor takes more than a few ns.\n";
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_OBS_JSON") ~default:"BENCH_obs.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E15\",\n\
+    \  \"corpus_exprs\": %d,\n\
+    \  \"baseline_ms\": %.3f,\n\
+    \  \"disabled_ms\": %.3f,\n\
+    \  \"traced_ms\": %.3f,\n\
+    \  \"overhead_disabled_pct\": %.2f,\n\
+    \  \"overhead_traced_pct\": %.2f,\n\
+    \  \"null_span_ns\": %.2f,\n\
+    \  \"null_span_minor_words\": %.4f,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    (List.length exprs) baseline_ms disabled_ms traced_ms
+    (pct baseline_ms disabled_ms)
+    (pct baseline_ms traced_ms)
+    null_span_ns null_span_minor_words metrics;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
 
 let () =
   let requested =

@@ -69,6 +69,63 @@ let retries_arg =
 let budget_steps ~fuel ~retries =
   Guard.escalation_steps ~fuel:(Option.value fuel ~default:max_int) ~retries
 
+(* --- observability sinks (check, batch, selftest) ---
+
+   Tracing is observation only — outputs on stdout are byte-identical
+   with and without these flags (the obs oracle layer enforces it).
+   Sinks are flushed from an [at_exit] handler so the early verdict
+   exits (1, 3) still emit them; the pool registers its own shutdown
+   hook before its first batch, and [at_exit] runs handlers in reverse
+   registration order, so workers quiesce before the snapshot. *)
+
+let trace_arg =
+  let doc =
+    "Trace the expensive stages (determinize, minimize, product, quotient, \
+     cache builds, verdicts, pool batches) and print the span tree to \
+     stderr when the command finishes."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a one-line JSON metrics snapshot (schema rexdex-obs/1: work \
+     counters, span latencies, cache and pool statistics) to $(docv) when \
+     the command finishes."
+  in
+  Arg.(value & opt_all string [] & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let obs_setup trace metrics =
+  let metrics_file =
+    match List.sort_uniq String.compare metrics with
+    | [] -> None
+    | [ f ] -> Some f
+    | fs ->
+        Format.eprintf "error: conflicting --metrics-json sinks (%s)@."
+          (String.concat ", " fs);
+        exit 2
+  in
+  if trace || metrics_file <> None then begin
+    Obs.set_enabled true;
+    (* open the sink up front so a bad path fails before any work *)
+    let oc =
+      Option.map
+        (fun f ->
+          try open_out f
+          with Sys_error msg ->
+            Format.eprintf "error: cannot open metrics sink: %s@." msg;
+            exit 2)
+        metrics_file
+    in
+    at_exit (fun () ->
+        if trace then Format.eprintf "%a" Obs.Span.pp_trace ();
+        match oc with
+        | None -> ()
+        | Some oc ->
+            output_string oc (Obs.Json.to_string (Obs.metrics_json ()));
+            output_char oc '\n';
+            close_out oc)
+  end
+
 let handle_errors f =
   try f () with
   | Regex_parse.Parse_error (msg, pos) ->
@@ -81,8 +138,9 @@ let handle_errors f =
 (* --- check --- *)
 
 let check_cmd =
-  let run syms expr_str fuel deadline_ms retries =
+  let run syms expr_str fuel deadline_ms retries trace metrics =
     handle_errors @@ fun () ->
+    obs_setup trace metrics;
     let alpha, e = parse_env syms expr_str in
     Format.printf "expression : %a@." Extraction.pp e;
     (* [decide name f]: unbudgeted when no bound was requested (the
@@ -124,7 +182,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ alphabet_arg $ expr_arg $ fuel_arg $ deadline_arg
-      $ retries_arg)
+      $ retries_arg $ trace_arg $ metrics_arg)
 
 (* --- maximize --- *)
 
@@ -346,8 +404,9 @@ let batch_cmd =
     Arg.(value & opt_all int [] & info [ "inject-fault" ] ~docv:"IDX" ~doc)
   in
   let run wrapper_file pages jobs cache_size stats fuel deadline_ms retries
-      inject =
+      inject trace metrics =
     handle_errors @@ fun () ->
+    obs_setup trace metrics;
     (match cache_size with Some n -> Runtime.set_cache_size n | None -> ());
     if inject <> [] then Guard_faults.arm Guard_faults.Batch_item ~at:inject;
     match Wrapper_io.load wrapper_file with
@@ -387,7 +446,8 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ wrapper_arg $ pages_arg $ jobs_arg $ cache_size_arg
-      $ stats_arg $ fuel_arg $ deadline_arg $ retries_arg $ inject_fault_arg)
+      $ stats_arg $ fuel_arg $ deadline_arg $ retries_arg $ inject_fault_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- validate (DTD) --- *)
 
@@ -473,7 +533,8 @@ let selftest_cmd =
     in
     Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
   in
-  let run cases seed =
+  let run cases seed trace metrics =
+    obs_setup trace metrics;
     let outcomes =
       Oracle_harness.run ~seed ~budget:cases Oracle_harness.all
     in
@@ -484,7 +545,8 @@ let selftest_cmd =
     "fuzz the §5–§6 decision procedures against independent reference \
      implementations (differential oracles)"
   in
-  Cmd.v (Cmd.info "selftest" ~doc) Term.(const run $ cases_arg $ seed_arg)
+  Cmd.v (Cmd.info "selftest" ~doc)
+    Term.(const run $ cases_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "resilient data extraction from semistructured sources" in

@@ -1,4 +1,6 @@
 let run (n : Nfa.t) : Dfa.t =
+  let sp = Obs.Span.enter Obs.Span.Determinize in
+  try
   let k = n.Nfa.alpha_size in
   let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let sets : Bitvec.t list ref = ref [] in
@@ -51,7 +53,11 @@ let run (n : Nfa.t) : Dfa.t =
     rows;
   let d = { Dfa.alpha_size = k; size; start; finals; delta } in
   Dfa.validate d;
+  Obs.Span.exit_n sp size;
   d
+  with e ->
+    Obs.Span.fail sp;
+    raise e
 
 let state_count_bound (n : Nfa.t) =
   if n.Nfa.size >= 62 then max_int else 1 lsl n.Nfa.size

@@ -5,6 +5,8 @@ let check_alpha (a : Dfa.t) (b : Dfa.t) =
 (* Reachable product with finals combined by [conn]. *)
 let product conn (a : Dfa.t) (b : Dfa.t) : Dfa.t =
   check_alpha a b;
+  let sp = Obs.Span.enter Obs.Span.Product in
+  try
   let k = a.Dfa.alpha_size in
   let nb = b.Dfa.size in
   let encode qa qb = (qa * nb) + qb in
@@ -45,7 +47,11 @@ let product conn (a : Dfa.t) (b : Dfa.t) : Dfa.t =
   let finals = Array.of_list (List.rev !finals_rev) in
   let d = { Dfa.alpha_size = k; size; start; finals; delta } in
   Dfa.validate d;
+  Obs.Span.exit_n sp size;
   d
+  with e ->
+    Obs.Span.fail sp;
+    raise e
 
 let inter = product ( && )
 let union = product ( || )
@@ -102,6 +108,8 @@ let reverse (d : Dfa.t) = Determinize.run (Nfa.reverse (Dfa.to_nfa d))
    reachable; returned as a bitvec indexed by qa * |b| + qb. *)
 let coreachable_pairs (a : Dfa.t) (b : Dfa.t) : Bitvec.t =
   check_alpha a b;
+  let sp = Obs.Span.enter Obs.Span.Quotient in
+  try
   let k = a.Dfa.alpha_size in
   let na = a.Dfa.size and nb = b.Dfa.size in
   let n = na * nb in
@@ -145,7 +153,11 @@ let coreachable_pairs (a : Dfa.t) (b : Dfa.t) : Bitvec.t =
         loop ()
   in
   loop ();
+  Obs.Span.exit_n sp n;
   seen
+  with e ->
+    Obs.Span.fail sp;
+    raise e
 
 let suffix_quotient (a : Dfa.t) (b : Dfa.t) : Dfa.t =
   let coreach = coreachable_pairs a b in
@@ -159,7 +171,10 @@ let suffix_quotient (a : Dfa.t) (b : Dfa.t) : Dfa.t =
 let prefix_quotient (b : Dfa.t) (a : Dfa.t) : Dfa.t =
   check_alpha a b;
   (* Forward-reachable pairs of the product from (start_a, start_b);
-     states of [a] paired with a final of [b] become NFA start states. *)
+     states of [a] paired with a final of [b] become NFA start states.
+     The final Determinize.run nests its own span under this one. *)
+  let sp = Obs.Span.enter Obs.Span.Quotient in
+  try
   let k = a.Dfa.alpha_size in
   let nb = b.Dfa.size in
   let seen = Bitvec.create (a.Dfa.size * nb) in
@@ -190,8 +205,15 @@ let prefix_quotient (b : Dfa.t) (a : Dfa.t) : Dfa.t =
       if b.Dfa.finals.(qb) then starts := qa :: !starts)
     seen;
   let starts = List.sort_uniq Int.compare !starts in
-  if starts = [] then Dfa.trivial ~alpha_size:k false
-  else Determinize.run (Nfa.with_starts (Dfa.to_nfa a) starts)
+  let d =
+    if starts = [] then Dfa.trivial ~alpha_size:k false
+    else Determinize.run (Nfa.with_starts (Dfa.to_nfa a) starts)
+  in
+  Obs.Span.exit sp;
+  d
+  with e ->
+    Obs.Span.fail sp;
+    raise e
 
 let counter_dfa ~alpha_size ~sym n =
   (* States 0..n count occurrences; state n+1 is the overflow sink. *)

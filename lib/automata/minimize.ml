@@ -162,4 +162,14 @@ let hopcroft d =
   done;
   quotient d block_of
 
-let minimize = hopcroft
+(* The production entry point is spanned; [moore] and [hopcroft] stay
+   bare so the differential tests comparing them time only one side. *)
+let minimize d =
+  let sp = Obs.Span.enter Obs.Span.Minimize in
+  try
+    let r = hopcroft d in
+    Obs.Span.exit_n sp r.Dfa.size;
+    r
+  with e ->
+    Obs.Span.fail sp;
+    raise e

@@ -56,8 +56,12 @@ let active () = Option.is_some !(Domain.DLS.get current)
 
 let charge ~stage n =
   match !(Domain.DLS.get current) with
-  | None -> ()
+  | None -> Obs.Metric.charge ~stage ~budgeted:false n
   | Some b ->
+      (* counted before the limit check so an exhausting charge is
+         still attributed — Metric totals then match Budget.spent
+         exactly, Decided or Unknown (the obs oracle reconciles) *)
+      Obs.Metric.charge ~stage ~budgeted:true n;
       b.Budget.spent <- b.Budget.spent + n;
       if b.Budget.spent > b.Budget.fuel_limit then
         raise

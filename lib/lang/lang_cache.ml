@@ -12,16 +12,18 @@ type key =
    limits how much of a large delta array feeds the hash — a collision
    concern, not a correctness one. *)
 
-(* Per-stage hit/miss counters are atomics: a stats bump from a batch
-   worker never serializes against another domain's lookup. *)
+(* Per-stage hit/miss counters are packed pairs (Obs.Counter2): a
+   stats bump from a batch worker never serializes against another
+   domain's lookup, and a [counts] read is ONE atomic load — the pair
+   it returns is always internally consistent, where the previous two
+   separate atomics could disagree with totals when read mid-traffic. *)
 let stage_id = function
   | Compile -> 0
   | Determinize -> 1
   | Minimize -> 2
   | Quotient -> 3
 
-let hit_counters = Array.init 4 (fun _ -> Atomic.make 0)
-let miss_counters = Array.init 4 (fun _ -> Atomic.make 0)
+let stage_counters = Array.init 4 (fun _ -> Obs.Counter2.make ())
 
 (* The LRU is sharded by key hash: a key always lands in the same
    shard, so sharding is invisible to callers — it only splits the one
@@ -47,7 +49,13 @@ let shards =
       { m = Mutex.create (); lru = Lru.create ~cap:(shard_cap default_capacity) })
 
 let enabled_flag = Atomic.make true
-let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
+
+(* Per-shard traffic, same packed representation: [shard_counts] is
+   one load per shard, and each pair is consistent on its own, so the
+   shard total always reconciles with the per-stage totals once the
+   cache quiesces. *)
+let shard_counters = Array.init shard_count (fun _ -> Obs.Counter2.make ())
+let shard_ix key = Hashtbl.hash key land (shard_count - 1)
 
 let cached stage key compute =
   (* Fault-injection probe (tests only): an armed Cache_lookup site can
@@ -56,15 +64,25 @@ let cached stage key compute =
   Guard_faults.point Guard_faults.Cache_lookup;
   if not (Atomic.get enabled_flag) then compute ()
   else
-    let s = shard_of key in
+    let ix = shard_ix key in
+    let s = shards.(ix) in
     match Mutex.protect s.m (fun () -> Lru.find s.lru key) with
     | Some v ->
-        Atomic.incr hit_counters.(stage_id stage);
+        Obs.Counter2.hit stage_counters.(stage_id stage);
+        Obs.Counter2.hit shard_counters.(ix);
         v
     | None ->
-        Atomic.incr miss_counters.(stage_id stage);
+        Obs.Counter2.miss stage_counters.(stage_id stage);
+        Obs.Counter2.miss shard_counters.(ix);
         (* compute outside the lock: Compile recurses into the cache *)
-        let v = compute () in
+        let sp = Obs.Span.enter Obs.Span.Cache_build in
+        let v =
+          try compute ()
+          with e ->
+            Obs.Span.fail sp;
+            raise e
+        in
+        Obs.Span.exit sp;
         Mutex.protect s.m (fun () -> Lru.add s.lru key v);
         v
 
@@ -79,11 +97,10 @@ let capacity () = Atomic.get configured_capacity
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-let counts stage =
-  let i = stage_id stage in
-  (Atomic.get hit_counters.(i), Atomic.get miss_counters.(i))
+let counts stage = Obs.Counter2.read stage_counters.(stage_id stage)
+let shard_counts () = Array.map Obs.Counter2.read shard_counters
 
 let clear () =
   Array.iter (fun s -> Mutex.protect s.m (fun () -> Lru.clear s.lru)) shards;
-  Array.iter (fun c -> Atomic.set c 0) hit_counters;
-  Array.iter (fun c -> Atomic.set c 0) miss_counters
+  Array.iter Obs.Counter2.reset stage_counters;
+  Array.iter Obs.Counter2.reset shard_counters

@@ -62,7 +62,14 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val counts : stage -> int * int
-(** [(hits, misses)] for a stage. *)
+(** [(hits, misses)] for a stage, read as one consistent pair: both
+    components come from a single atomic load ({!Obs.Counter2}), so a
+    read racing concurrent lookups still sees a pair whose sum is the
+    number of lookups that happened-before it. *)
+
+val shard_counts : unit -> (int * int) array
+(** Per-shard [(hits, misses)], one consistent pair per shard.
+    Σ shard pairs = Σ stage pairs once the cache quiesces. *)
 
 val clear : unit -> unit
 (** Drop every cached binding and zero the counters. *)

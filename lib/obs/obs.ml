@@ -1,0 +1,515 @@
+(* Observability layer: spans, counters, histograms, JSON.
+
+   Everything funnels through one global switch so the disabled path —
+   the production default — is a single atomic load and a branch at
+   every instrumentation site.  Span records live in per-domain
+   buffers (Domain.DLS) appended without synchronization; ids come
+   from one global atomic so a merged, id-sorted record list replays
+   open order across domains. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+(* --- clock ---
+
+   Unix.gettimeofday is the only clock in the dependency cone (no
+   mtime); nanoseconds relative to module init keep durations in small
+   ints.  Wall time can step backwards, so durations clamp at 0. *)
+
+let epoch = Unix.gettimeofday ()
+let now_ns () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
+
+(* --- JSON --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Buffer-based (not Format): the output must stay a single line
+     regardless of margin settings. *)
+  let rec to_buf b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.3f" f)
+        else Buffer.add_string b "null"
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            to_buf b x)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            to_buf b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    to_buf b t;
+    Buffer.contents b
+
+  let member k = function
+    | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+    | _ -> Null
+
+  let path ks t = List.fold_left (fun acc k -> member k acc) t ks
+
+  let get_int = function
+    | Int i -> i
+    | _ -> invalid_arg "Obs.Json.get_int: not an Int"
+
+  let get_bool = function
+    | Bool b -> b
+    | _ -> invalid_arg "Obs.Json.get_bool: not a Bool"
+end
+
+(* --- packed hit/miss pairs --- *)
+
+module Counter2 = struct
+  type t = int Atomic.t
+
+  (* hits high / misses low, 31 bits each (the Pool.Deque packing):
+     one fetch_and_add per event, one load per read, so a read can
+     never observe a half-updated pair.  2^31 events per side before
+     wraparound — the caches count thousands per run. *)
+  let half_bits = 31
+  let lo_mask = (1 lsl half_bits) - 1
+  let make () = Atomic.make 0
+  let hit t = ignore (Atomic.fetch_and_add t (1 lsl half_bits))
+  let miss t = ignore (Atomic.fetch_and_add t 1)
+
+  let read t =
+    let v = Atomic.get t in
+    ((v lsr half_bits) land lo_mask, v land lo_mask)
+
+  let reset t = Atomic.set t 0
+end
+
+(* --- histograms --- *)
+
+module Histogram = struct
+  let n_buckets = 16
+
+  type t = {
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    total_ns : int Atomic.t;
+    max_ns : int Atomic.t;
+  }
+
+  type snapshot = {
+    count : int;
+    total_ns : int;
+    max_ns : int;
+    buckets : int array;
+  }
+
+  let make () : t =
+    {
+      buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      total_ns = Atomic.make 0;
+      max_ns = Atomic.make 0;
+    }
+
+  (* bucket 0: [0, 2) µs; bucket i: [2^i, 2^(i+1)) µs; bucket 15 is
+     open-ended — floor(log2(µs)) capped to the range. *)
+  let bucket_of_ns ns =
+    let us = ns / 1000 in
+    if us < 2 then 0
+    else begin
+      let b = ref 0 and v = ref us in
+      while !v > 1 do
+        incr b;
+        v := !v lsr 1
+      done;
+      min !b (n_buckets - 1)
+    end
+
+  let observe (t : t) ns =
+    let ns = max 0 ns in
+    ignore (Atomic.fetch_and_add t.buckets.(bucket_of_ns ns) 1);
+    Atomic.incr t.count;
+    ignore (Atomic.fetch_and_add t.total_ns ns);
+    let rec bump () =
+      let m = Atomic.get t.max_ns in
+      if ns > m && not (Atomic.compare_and_set t.max_ns m ns) then bump ()
+    in
+    bump ()
+
+  let snapshot (t : t) : snapshot =
+    {
+      count = Atomic.get t.count;
+      total_ns = Atomic.get t.total_ns;
+      max_ns = Atomic.get t.max_ns;
+      buckets = Array.map Atomic.get t.buckets;
+    }
+
+  let reset (t : t) =
+    Array.iter (fun b -> Atomic.set b 0) t.buckets;
+    Atomic.set t.count 0;
+    Atomic.set t.total_ns 0;
+    Atomic.set t.max_ns 0
+end
+
+(* --- spans --- *)
+
+module Span = struct
+  type stage =
+    | Determinize
+    | Minimize
+    | Product
+    | Quotient
+    | Cache_build
+    | Verdict
+    | Batch_run
+
+  let n_stages = 7
+
+  let stage_id = function
+    | Determinize -> 0
+    | Minimize -> 1
+    | Product -> 2
+    | Quotient -> 3
+    | Cache_build -> 4
+    | Verdict -> 5
+    | Batch_run -> 6
+
+  let all_stages =
+    [ Determinize; Minimize; Product; Quotient; Cache_build; Verdict; Batch_run ]
+
+  let stage_name = function
+    | Determinize -> "determinize"
+    | Minimize -> "minimize"
+    | Product -> "product"
+    | Quotient -> "quotient"
+    | Cache_build -> "cache-build"
+    | Verdict -> "verdict"
+    | Batch_run -> "batch"
+
+  type t = int
+
+  let none = -1
+
+  type record = {
+    id : int;
+    parent : int;
+    domain : int;
+    stage : stage;
+    start_ns : int;
+    mutable dur_ns : int;
+    mutable note : int;
+    mutable failed : bool;
+  }
+
+  let dummy =
+    {
+      id = -1;
+      parent = -1;
+      domain = -1;
+      stage = Determinize;
+      start_ns = 0;
+      dur_ns = -1;
+      note = -1;
+      failed = false;
+    }
+
+  (* Per-domain record buffer.  Appends are domain-local; the registry
+     (for snapshot reads) is touched once per domain, on first use.
+     Buffers cap at [max_records] per domain so a traced long campaign
+     degrades to counting drops instead of growing without bound. *)
+  type dstate = {
+    dom : int;
+    mutable recs : record array;
+    mutable len : int;
+    mutable open_ : int list; (* indexes of open spans, innermost first *)
+    mutable amb : int;
+  }
+
+  let max_records = 1 lsl 16
+  let dropped_c = Atomic.make 0
+  let registry_m = Mutex.create ()
+  let registry : dstate list ref = ref []
+
+  let dkey : dstate Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        let ds =
+          {
+            dom = (Domain.self () :> int);
+            recs = Array.make 64 dummy;
+            len = 0;
+            open_ = [];
+            amb = none;
+          }
+        in
+        Mutex.protect registry_m (fun () -> registry := ds :: !registry);
+        ds)
+
+  let next_id = Atomic.make 0
+  let histograms = Array.init n_stages (fun _ -> Histogram.make ())
+
+  let enter stage =
+    if not (Atomic.get on) then none
+    else
+      let ds = Domain.DLS.get dkey in
+      if ds.len >= max_records then begin
+        Atomic.incr dropped_c;
+        none
+      end
+      else begin
+        let id = Atomic.fetch_and_add next_id 1 in
+        let parent =
+          match ds.open_ with i :: _ -> ds.recs.(i).id | [] -> ds.amb
+        in
+        let r =
+          {
+            id;
+            parent;
+            domain = ds.dom;
+            stage;
+            start_ns = now_ns ();
+            dur_ns = -1;
+            note = -1;
+            failed = false;
+          }
+        in
+        if ds.len = Array.length ds.recs then begin
+          let nr = Array.make (2 * ds.len) dummy in
+          Array.blit ds.recs 0 nr 0 ds.len;
+          ds.recs <- nr
+        end;
+        ds.recs.(ds.len) <- r;
+        ds.open_ <- ds.len :: ds.open_;
+        ds.len <- ds.len + 1;
+        id
+      end
+
+  let close_rec r ~failed ~note =
+    r.dur_ns <- max 0 (now_ns () - r.start_ns);
+    r.note <- note;
+    r.failed <- failed;
+    Histogram.observe histograms.(stage_id r.stage) r.dur_ns
+
+  let close t ~failed ~note =
+    if t >= 0 then begin
+      let ds = Domain.DLS.get dkey in
+      if List.exists (fun i -> ds.recs.(i).id = t) ds.open_ then
+        (* Instrumentation is well-bracketed, so t is normally the
+           innermost open span; anything above it on the stack was
+           left open by an exception unwinding past its handler and is
+           closed as failed. *)
+        let rec pop = function
+          | [] -> []
+          | i :: rest ->
+              let r = ds.recs.(i) in
+              if r.id = t then begin
+                close_rec r ~failed ~note;
+                rest
+              end
+              else begin
+                close_rec r ~failed:true ~note:(-1);
+                pop rest
+              end
+        in
+        ds.open_ <- pop ds.open_
+    end
+
+  let exit t = close t ~failed:false ~note:(-1)
+  let exit_n t n = close t ~failed:false ~note:n
+  let fail t = close t ~failed:true ~note:(-1)
+  let ambient () = if Atomic.get on then (Domain.DLS.get dkey).amb else none
+
+  let set_ambient t =
+    if Atomic.get on then (Domain.DLS.get dkey).amb <- t
+
+  let dropped () = Atomic.get dropped_c
+  let latency stage = Histogram.snapshot histograms.(stage_id stage)
+
+  let records () =
+    let dss = Mutex.protect registry_m (fun () -> !registry) in
+    let acc = ref [] in
+    List.iter
+      (fun ds ->
+        for i = ds.len - 1 downto 0 do
+          let r = ds.recs.(i) in
+          if r.dur_ns >= 0 then acc := r :: !acc
+        done)
+      dss;
+    List.sort (fun a b -> compare a.id b.id) !acc
+
+  let reset () =
+    Mutex.protect registry_m (fun () ->
+        List.iter
+          (fun ds ->
+            ds.len <- 0;
+            ds.open_ <- [];
+            ds.amb <- none)
+          !registry);
+    Atomic.set dropped_c 0;
+    Atomic.set next_id 0;
+    Array.iter Histogram.reset histograms
+
+  let pp_trace ppf () =
+    let recs = records () in
+    let domains =
+      List.sort_uniq compare (List.map (fun r -> r.domain) recs)
+    in
+    Format.fprintf ppf "trace: %d spans across %d domain%s (%d dropped)@."
+      (List.length recs) (List.length domains)
+      (if List.length domains = 1 then "" else "s")
+      (dropped ());
+    (* children indexed by parent id, kept in id order *)
+    let children : (int, record list ref) Hashtbl.t = Hashtbl.create 64 in
+    let ids = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace ids r.id ()) recs;
+    List.iter
+      (fun r ->
+        let key = if Hashtbl.mem ids r.parent then r.parent else -1 in
+        match Hashtbl.find_opt children key with
+        | Some l -> l := r :: !l
+        | None -> Hashtbl.add children key (ref [ r ]))
+      recs;
+    let kids id =
+      match Hashtbl.find_opt children id with
+      | Some l -> List.rev !l
+      | None -> []
+    in
+    let rec pp_node depth r =
+      Format.fprintf ppf "%s%s %.3fms" (String.make (2 * depth) ' ')
+        (stage_name r.stage)
+        (float_of_int r.dur_ns /. 1e6);
+      if r.note >= 0 then Format.fprintf ppf " [%d]" r.note;
+      if r.failed then Format.fprintf ppf " FAILED";
+      Format.fprintf ppf "@.";
+      List.iter (pp_node (depth + 1)) (kids r.id)
+    in
+    List.iter (pp_node 1) (kids (-1))
+end
+
+(* --- work counters --- *)
+
+module Metric = struct
+  let names = [| "determinize"; "minimize"; "product"; "quotient"; "other" |]
+  let n = Array.length names
+
+  let stage_ix = function
+    | "determinize" -> 0
+    | "minimize" -> 1
+    | "product" -> 2
+    | "quotient" -> 3
+    | _ -> 4
+
+  let states = Array.init n (fun _ -> Atomic.make 0)
+  let fuel = Array.init n (fun _ -> Atomic.make 0)
+
+  let charge ~stage ~budgeted k =
+    if Atomic.get on then begin
+      let i = stage_ix stage in
+      ignore (Atomic.fetch_and_add states.(i) k);
+      if budgeted then ignore (Atomic.fetch_and_add fuel.(i) k)
+    end
+
+  let rows arr =
+    Array.to_list (Array.mapi (fun i c -> (names.(i), Atomic.get c)) arr)
+
+  let states_built () = rows states
+  let fuel_spent () = rows fuel
+  let total arr = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 arr
+  let total_states () = total states
+  let total_fuel () = total fuel
+
+  let reset () =
+    Array.iter (fun c -> Atomic.set c 0) states;
+    Array.iter (fun c -> Atomic.set c 0) fuel
+end
+
+(* --- snapshot --- *)
+
+let providers_m = Mutex.create ()
+let providers : (string * (unit -> Json.t)) list ref = ref []
+
+let register_provider name f =
+  Mutex.protect providers_m (fun () ->
+      providers := (name, f) :: List.remove_assoc name !providers)
+
+let metrics_json () =
+  let counter_obj rows = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) rows) in
+  let ms ns = float_of_int ns /. 1e6 in
+  let span_rows =
+    List.map
+      (fun st ->
+        let h = Span.latency st in
+        Json.Obj
+          [
+            ("stage", Json.Str (Span.stage_name st));
+            ("count", Json.Int h.Histogram.count);
+            ("total_ms", Json.Float (ms h.Histogram.total_ns));
+            ("max_ms", Json.Float (ms h.Histogram.max_ns));
+            ( "buckets",
+              Json.List
+                (Array.to_list (Array.map (fun c -> Json.Int c) h.Histogram.buckets))
+            );
+          ])
+      Span.all_stages
+  in
+  let provided =
+    Mutex.protect providers_m (fun () -> !providers)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (name, f) -> (name, f ()))
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str "rexdex-obs/1");
+       ("traced", Json.Bool (enabled ()));
+       ( "counters",
+         Json.Obj
+           [
+             ("states_built", counter_obj (Metric.states_built ()));
+             ("fuel_spent", counter_obj (Metric.fuel_spent ()));
+           ] );
+       ("spans", Json.List span_rows);
+       ("spans_dropped", Json.Int (Span.dropped ()));
+     ]
+    @ provided)
+
+let reset () =
+  Span.reset ();
+  Metric.reset ()

@@ -20,6 +20,7 @@ let all =
     { name = "runtime"; tests = Oracle_runtime.tests };
     { name = "guard"; tests = Oracle_guard.tests };
     { name = "sched"; tests = Oracle_sched.tests };
+    { name = "obs"; tests = Oracle_obs.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

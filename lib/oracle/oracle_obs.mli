@@ -1,0 +1,10 @@
+(** Differential oracles for the observability layer (lib/obs).
+
+    Tracing must be purely observational: every verdict, split and
+    batch result must be bit-identical with tracing enabled vs
+    disabled — including under pool fan-out and under Guard
+    exhaustion — and the metrics snapshot must reconcile exactly with
+    the pre-existing {!Runtime.Stats} and {!Pool.stats} counters and
+    with {!Guard.Budget} fuel accounting. *)
+
+val tests : count:int -> QCheck.Test.t list

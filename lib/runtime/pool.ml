@@ -48,6 +48,9 @@ type job = {
   remaining : int Atomic.t; (* items not yet executed *)
   done_m : Mutex.t;
   done_cv : Condition.t;
+  obs_parent : Obs.Span.t;
+      (* the submitter's Batch_run span: workers adopt it as their
+         ambient parent so worker-side spans nest under the batch *)
 }
 
 type t = {
@@ -148,7 +151,13 @@ let work j p =
   in
   let flag = Domain.DLS.get in_worker in
   flag := true;
-  Fun.protect ~finally:(fun () -> flag := false) (fun () -> own ())
+  let saved_ambient = Obs.Span.ambient () in
+  Obs.Span.set_ambient j.obs_parent;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_ambient saved_ambient;
+      flag := false)
+    (fun () -> own ())
 
 let rec worker_loop w last_gen =
   Mutex.lock pool.m;
@@ -216,40 +225,60 @@ let run ~participants n run_item =
         ~finally:(fun () -> Mutex.unlock pool.submit)
         (fun () ->
           ensure_workers (participants - 1);
-          (* same contiguous seeding as the old static chunking — the
-             deques only change who finishes a range, never who is
-             assigned which result index *)
-          let base = n / participants and extra = n mod participants in
-          let deques =
-            Array.init participants (fun c ->
-                let lo = (c * base) + min c extra in
-                let hi = lo + base + if c < extra then 1 else 0 in
-                Deque.make ~lo ~hi)
-          in
-          let job =
-            {
-              deques;
-              participants;
-              run_item;
-              remaining = Atomic.make n;
-              done_m = Mutex.create ();
-              done_cv = Condition.create ();
-            }
-          in
-          Atomic.incr batches_c;
-          Mutex.lock pool.m;
-          pool.current <- Some job;
-          pool.gen <- pool.gen + 1;
-          Condition.broadcast pool.cv;
-          Mutex.unlock pool.m;
-          (* the submitter is participant 0: it works too, so a batch
-             always completes even if every worker is lagging *)
-          work job 0;
-          Mutex.lock job.done_m;
-          while Atomic.get job.remaining > 0 do
-            Condition.wait job.done_cv job.done_m
-          done;
-          Mutex.unlock job.done_m)
+          let sp = Obs.Span.enter Obs.Span.Batch_run in
+          try
+            (* same contiguous seeding as the old static chunking — the
+               deques only change who finishes a range, never who is
+               assigned which result index *)
+            let base = n / participants and extra = n mod participants in
+            let deques =
+              Array.init participants (fun c ->
+                  let lo = (c * base) + min c extra in
+                  let hi = lo + base + if c < extra then 1 else 0 in
+                  Deque.make ~lo ~hi)
+            in
+            let job =
+              {
+                deques;
+                participants;
+                run_item;
+                remaining = Atomic.make n;
+                done_m = Mutex.create ();
+                done_cv = Condition.create ();
+                obs_parent = sp;
+              }
+            in
+            Atomic.incr batches_c;
+            Mutex.lock pool.m;
+            pool.current <- Some job;
+            pool.gen <- pool.gen + 1;
+            Condition.broadcast pool.cv;
+            Mutex.unlock pool.m;
+            (* the submitter is participant 0: it works too, so a batch
+               always completes even if every worker is lagging *)
+            work job 0;
+            Mutex.lock job.done_m;
+            while Atomic.get job.remaining > 0 do
+              Condition.wait job.done_cv job.done_m
+            done;
+            Mutex.unlock job.done_m;
+            Obs.Span.exit_n sp n
+          with e ->
+            Obs.Span.fail sp;
+            raise e)
   end
 
 let size () = pool.n_workers
+
+(* Pool traffic as a metrics-snapshot provider, mirroring [stats]. *)
+let () =
+  Obs.register_provider "pool" (fun () ->
+      let open Obs.Json in
+      let s = stats () in
+      Obj
+        [
+          ("workers", Int s.workers);
+          ("batches", Int s.batches);
+          ("items", Int s.items);
+          ("steals", Int s.steals);
+        ])

@@ -62,8 +62,10 @@ let decision_shards =
         lru = Lru.create ~cap:(shard_cap decision_capacity_default);
       })
 
-let decision_hits = Atomic.make 0
-let decision_misses = Atomic.make 0
+(* One packed pair (hits high bits / misses low): a stats read is a
+   single atomic load, so it can never catch the pair half-updated
+   between a bump and a racing reader. *)
+let decision_c = Obs.Counter2.make ()
 
 let decision_key (e : Extraction.t) op =
   let _, left = Regex_hc.intern e.Extraction.left in
@@ -76,18 +78,28 @@ let decision_key (e : Extraction.t) op =
     op;
   }
 
+let compute_verdict compute =
+  let sp = Obs.Span.enter Obs.Span.Verdict in
+  try
+    let v = compute () in
+    Obs.Span.exit sp;
+    v
+  with e ->
+    Obs.Span.fail sp;
+    raise e
+
 let decide e op compute =
-  if not (Lang_cache.enabled ()) then compute ()
+  if not (Lang_cache.enabled ()) then compute_verdict compute
   else
     let key = decision_key e op in
     let s = decision_shards.(Hashtbl.hash key land (shard_count - 1)) in
     match Mutex.protect s.m (fun () -> Lru.find s.lru key) with
     | Some v ->
-        Atomic.incr decision_hits;
+        Obs.Counter2.hit decision_c;
         v
     | None ->
-        Atomic.incr decision_misses;
-        let v = compute () in
+        Obs.Counter2.miss decision_c;
+        let v = compute_verdict compute in
         Mutex.protect s.m (fun () -> Lru.add s.lru key v);
         v
 
@@ -101,8 +113,31 @@ let stats () =
     determinize = c (Lang_cache.counts Lang_cache.Determinize);
     minimize = c (Lang_cache.counts Lang_cache.Minimize);
     quotient = c (Lang_cache.counts Lang_cache.Quotient);
-    decision = c (Atomic.get decision_hits, Atomic.get decision_misses);
+    decision = c (Obs.Counter2.read decision_c);
   }
+
+(* Cache traffic as a metrics-snapshot provider: per-stage pairs, the
+   decision pair and the per-shard Lang_cache breakdown, all read as
+   consistent packed pairs.  Registered at module init so any program
+   linking Runtime gets the "cache" field in Obs.metrics_json. *)
+let () =
+  Obs.register_provider "cache" (fun () ->
+      let open Obs.Json in
+      let pair (h, m) = Obj [ ("hits", Int h); ("misses", Int m) ] in
+      let s = stats () in
+      let c (x : Stats.counter) = pair (x.hits, x.misses) in
+      Obj
+        [
+          ("intern", c s.Stats.intern);
+          ("compile", c s.Stats.compile);
+          ("determinize", c s.Stats.determinize);
+          ("minimize", c s.Stats.minimize);
+          ("quotient", c s.Stats.quotient);
+          ("decision", c s.Stats.decision);
+          ( "shards",
+            List (Array.to_list (Array.map pair (Lang_cache.shard_counts ())))
+          );
+        ])
 
 let set_cache_size n =
   Lang_cache.set_capacity n;
@@ -121,8 +156,7 @@ let reset () =
   Array.iter
     (fun s -> Mutex.protect s.m (fun () -> Lru.clear s.lru))
     decision_shards;
-  Atomic.set decision_hits 0;
-  Atomic.set decision_misses 0
+  Obs.Counter2.reset decision_c
 
 (* --- cached pipeline --- *)
 

@@ -1,0 +1,84 @@
+Observability: --trace prints a span tree on stderr, --metrics-json
+writes a machine-readable counter snapshot.  Both are observation
+only — stdout (and the verdict) must be byte-identical with the
+instrumentation on or off.
+
+A Decided check, traced: stdout matches the untraced run exactly and
+the stage spans from the paper's pipeline land on stderr:
+
+  $ rexdex check -a p,q '(q p)* <p> .*' > plain.txt
+  $ rexdex check -a p,q --trace '(q p)* <p> .*' > traced.txt 2> tree.txt
+  $ cmp plain.txt traced.txt && echo stdout-identical
+  stdout-identical
+  $ grep -c '^trace: ' tree.txt
+  1
+  $ grep -q 'verdict' tree.txt && echo has-verdict
+  has-verdict
+  $ grep -q 'determinize' tree.txt && echo has-determinize
+  has-determinize
+  $ grep -q 'minimize' tree.txt && echo has-minimize
+  has-minimize
+
+An exhausted (UNKNOWN) check, traced: the verdict line is still the
+deterministic one pinned in cli_guard.t, and the interrupted
+determinization shows up as a failed span:
+
+  $ rexdex check -a p,q --fuel 5000 --retries 1 '([^p])* <p> (p | q)* q (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q)' > plain-u.txt
+  [3]
+  $ rexdex check -a p,q --fuel 5000 --retries 1 --trace '([^p])* <p> (p | q)* q (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q) (p | q)' > traced-u.txt 2> tree-u.txt
+  [3]
+  $ cat traced-u.txt
+  expression : [^p]* <p> .* q . . . . . . . . . . . . . . . .
+  ambiguous  : UNKNOWN(determinize,10001)
+  $ cmp plain-u.txt traced-u.txt && echo stdout-identical
+  stdout-identical
+  $ grep -q 'FAILED' tree-u.txt && echo has-failed-span
+  has-failed-span
+
+Batch with a metrics sink: the snapshot is valid JSON with the pinned
+schema, and the extraction output is unchanged:
+
+  $ cat > s1.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text" data-target="1"><input type="radio"></form>
+  > EOF
+  $ cat > s2.html <<'EOF'
+  > <table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input type="image"><input type="text" data-target="1"><input type="radio"></form></td></tr></table>
+  > EOF
+  $ rexdex learn s1.html s2.html --save w.rexdex | tail -1
+  saved     : w.rexdex
+  $ rexdex batch -w w.rexdex s1.html s2.html > plain-b.txt
+  $ rexdex batch -w w.rexdex --jobs 2 --metrics-json m.json s1.html s2.html > metered-b.txt
+  $ cmp plain-b.txt metered-b.txt && echo stdout-identical
+  stdout-identical
+  $ cat metered-b.txt
+  s1.html: target at 2.1
+  s2.html: target at 0.1.0.0.1
+  $ python3 - <<'EOF'
+  > import json
+  > m = json.load(open("m.json"))
+  > print(m["schema"], m["traced"])
+  > print(sorted(m.keys()))
+  > print(m["pool"]["batches"] >= 1, m["pool"]["items"] == 2)
+  > json.loads(json.dumps(m)) == m or exit(1)
+  > EOF
+  rexdex-obs/1 True
+  ['cache', 'counters', 'pool', 'schema', 'spans', 'spans_dropped', 'traced']
+  True True
+
+The oracle itself can run traced; its verdict stream on stdout is
+untouched:
+
+  $ rexdex selftest -n 40 -s 3 > plain-s.txt
+  $ rexdex selftest -n 40 -s 3 --trace > traced-s.txt 2> /dev/null
+  $ cmp plain-s.txt traced-s.txt && echo oracle-identical
+  oracle-identical
+
+Sink misconfiguration is a usage error (exit 2), reported before any
+work runs:
+
+  $ rexdex check -a p,q --metrics-json a.json --metrics-json b.json '<p>'
+  error: conflicting --metrics-json sinks (a.json, b.json)
+  [2]
+  $ rexdex check -a p,q --metrics-json /nonexistent-dir/m.json '<p>'
+  error: cannot open metrics sink: /nonexistent-dir/m.json: No such file or directory
+  [2]
