@@ -745,6 +745,53 @@ let e14 () =
         "shape check: output is invariant in the job count, the scratch path\n\
          allocates less than the fresh path, and on a multicore host the\n\
          skewed corpus still scales (stealing drains the giant chunk).\n";
+      (* Tiny-items corpus: the inversion regime — thousands of
+         sub-millisecond pages, where per-item dispatch used to cost
+         more than the parallelism bought (speedup_j4 was 0.53 before
+         cost-aware chunking).  With the planner grouping pages into
+         break-even work units, jobs=4 must hold at least parity. *)
+      let tiny =
+        List.init 3100 (fun _ ->
+            Pagegen.generate rng
+              { Pagegen.default_profile with Pagegen.product_rows = 2 })
+      in
+      let tiny_n = List.length tiny in
+      Printf.printf
+        "\ntiny corpus: %d sub-ms pages (cost-aware chunking regime)\n"
+        tiny_n;
+      let tiny_reference = Wrapper.extract_batch ~jobs:1 w tiny in
+      Printf.printf "| jobs | median ms | pages/s | speedup vs j1 | output = --jobs 1 |\n";
+      Printf.printf "|---|---|---|---|---|\n";
+      let tiny_identical = ref true in
+      let tiny_rows =
+        List.map
+          (fun jobs ->
+            let ms =
+              time_ms ~reps:3 (fun () -> Wrapper.extract_batch ~jobs w tiny)
+            in
+            let same = Wrapper.extract_batch ~jobs w tiny = tiny_reference in
+            tiny_identical := !tiny_identical && same;
+            (jobs, ms, same))
+          [ 1; 4 ]
+      in
+      let tiny_ms_j1 =
+        match tiny_rows with (1, ms, _) :: _ -> ms | _ -> assert false
+      in
+      let tiny_rows =
+        List.map
+          (fun (jobs, ms, same) ->
+            let speedup = tiny_ms_j1 /. ms in
+            Printf.printf "| %d | %8.2f | %8.0f | %5.2f | %b |\n" jobs ms
+              (float_of_int tiny_n /. (ms /. 1000.0))
+              speedup same;
+            (jobs, ms, same, speedup))
+          tiny_rows
+      in
+      let speedup_tiny_j4 =
+        match List.find_opt (fun (jobs, _, _, _) -> jobs = 4) tiny_rows with
+        | Some (_, _, _, s) -> s
+        | None -> nan
+      in
       let path =
         Option.value (Sys.getenv_opt "BENCH_SCHED_JSON")
           ~default:"BENCH_sched.json"
@@ -762,8 +809,10 @@ let e14 () =
         \  \"identical\": %b,\n\
         \  \"speedup_j4\": %.3f,\n\
         \  \"rows\": [%s],\n\
+        \  \"tiny\": { \"pages\": %d, \"identical\": %b, \"rows\": [%s] },\n\
+        \  \"speedup_tiny_j4\": %.3f,\n\
         \  \"alloc\": { \"word_len\": %d, \"scratch_minor_words_per_call\": %.1f, \"fresh_minor_words_per_call\": %.1f },\n\
-        \  \"pool\": { \"workers\": %d, \"batches\": %d, \"items\": %d, \"steals\": %d }\n\
+        \  \"pool\": { \"workers\": %d, \"batches\": %d, \"items\": %d, \"steals\": %d, \"chunks\": %d, \"seq_fallbacks\": %d }\n\
          }\n"
         n_docs (List.length giants) tokens_total !identical speedup_j4
         (String.concat ", "
@@ -776,9 +825,20 @@ let e14 () =
                   (float_of_int n_docs /. (ms /. 1000.0))
                   speedup same)
               rows))
-        (Array.length giant_word)
-        scratch_words fresh_words pool.Pool.workers pool.Pool.batches
-        pool.Pool.items pool.Pool.steals;
+        tiny_n !tiny_identical
+        (String.concat ", "
+           (List.map
+              (fun (jobs, ms, same, speedup) ->
+                Printf.sprintf
+                  "{\"jobs\": %d, \"ms\": %.3f, \"pages_per_s\": %.0f, \
+                   \"speedup_vs_j1\": %.3f, \"identical\": %b}"
+                  jobs ms
+                  (float_of_int tiny_n /. (ms /. 1000.0))
+                  speedup same)
+              tiny_rows))
+        speedup_tiny_j4 (Array.length giant_word) scratch_words fresh_words
+        pool.Pool.workers pool.Pool.batches pool.Pool.items pool.Pool.steals
+        pool.Pool.chunks pool.Pool.seq_fallbacks;
       close_out oc;
       Printf.printf "wrote %s\n" path
 

@@ -403,10 +403,31 @@ let batch_cmd =
     in
     Arg.(value & opt_all int [] & info [ "inject-fault" ] ~docv:"IDX" ~doc)
   in
+  let chunk_arg =
+    let doc =
+      "Work-unit granularity: 'auto' plans cost-aware chunks from the \
+       latency estimator, a positive integer N forces fixed N-item \
+       chunks ('1' reproduces per-item scheduling).  Output is identical \
+       for every value."
+    in
+    Arg.(value & opt string "auto" & info [ "chunk" ] ~docv:"auto|N" ~doc)
+  in
   let run wrapper_file pages jobs cache_size stats fuel deadline_ms retries
-      inject trace metrics =
+      inject chunk trace metrics =
     handle_errors @@ fun () ->
     obs_setup trace metrics;
+    let chunk =
+      match chunk with
+      | "auto" -> Pool.Auto
+      | s -> (
+          match int_of_string_opt s with
+          | Some k when k >= 1 -> Pool.Items k
+          | _ ->
+              Format.eprintf
+                "error: --chunk expects 'auto' or a positive integer, got %s@."
+                s;
+              exit 2)
+    in
     (match cache_size with Some n -> Runtime.set_cache_size n | None -> ());
     if inject <> [] then Guard_faults.arm Guard_faults.Batch_item ~at:inject;
     match Wrapper_io.load wrapper_file with
@@ -417,7 +438,7 @@ let batch_cmd =
         let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
         let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
         let results =
-          Wrapper.extract_batch ~jobs ?fuel ?deadline_ms ~retries w docs
+          Wrapper.extract_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w docs
         in
         let failures = ref 0 and unknowns = ref 0 in
         List.iter2
@@ -447,7 +468,7 @@ let batch_cmd =
     Term.(
       const run $ wrapper_arg $ pages_arg $ jobs_arg $ cache_size_arg
       $ stats_arg $ fuel_arg $ deadline_arg $ retries_arg $ inject_fault_arg
-      $ trace_arg $ metrics_arg)
+      $ chunk_arg $ trace_arg $ metrics_arg)
 
 (* --- validate (DTD) --- *)
 

@@ -183,6 +183,14 @@ module Histogram = struct
       buckets = Array.map Atomic.get t.buckets;
     }
 
+  (* Mean duration over the snapshot, 0 when empty — the read-back
+     entry point for consumers (the Cost estimator) that must not
+     divide by a live count.  total_ns can wrap under adversarial
+     observe values; a wrapped (negative) mean is clamped to 0 rather
+     than surfaced. *)
+  let mean_ns (s : snapshot) =
+    if s.count <= 0 then 0 else max 0 (s.total_ns / s.count)
+
   let reset (t : t) =
     Array.iter (fun b -> Atomic.set b 0) t.buckets;
     Atomic.set t.count 0;

@@ -37,6 +37,12 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+val now_ns : unit -> int
+(** Nanoseconds since process start (the span clock), exposed so
+    runtime-side consumers (the {!Pool} cost estimator) can time work
+    units without growing their own [Unix] dependency.  Wall-clock
+    based; treat differences as best-effort durations. *)
+
 (** {1 Packed hit/miss pairs}
 
     A single [Atomic.t] holding hits in the high 31 bits and misses in
@@ -82,6 +88,11 @@ module Histogram : sig
   val bucket_of_ns : int -> int
   val observe : t -> int -> unit
   val snapshot : t -> snapshot
+
+  val mean_ns : snapshot -> int
+  (** Mean observed duration, [0] when the snapshot is empty (never
+      divides by zero) and clamped at zero if [total_ns] wrapped. *)
+
   val reset : t -> unit
 end
 

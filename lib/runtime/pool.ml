@@ -1,19 +1,31 @@
-(* Persistent work-stealing domain pool.
+(* Persistent work-stealing domain pool, granularity-aware.
 
    One set of worker domains is spawned lazily on first parallel batch
    and reused for every batch after it — the Domain.spawn/join cost
    that made per-call chunking slower at jobs=4 than jobs=1 (E12) is
-   paid once per process, not once per batch.  Items are scheduled
-   through per-participant deques seeded with contiguous ranges; a
-   participant that drains its own range steals from the back of the
-   others, so one adversarial item skews only its claimer, never a
-   whole static chunk. *)
+   paid once per process, not once per batch.
 
-(* A deque over a fixed index range [lo, hi).  No items are ever
+   Scheduling is over *work units*, not raw items: the Cost planner
+   groups small items into contiguous chunks worth roughly a
+   break-even budget of wall time, so per-unit dispatch (a CAS claim,
+   possibly a steal) is amortized over enough work to win — the E14
+   inversion (jobs=4 slower than jobs=1 on ~0.2 ms pages) was exactly
+   this dispatch cost paid per item.  Items at or above the break-even
+   cost stay singleton units, so the PR-4 skew tolerance survives: an
+   adversarial giant delays only its claimer, never a merged chunk.
+   Units are seeded into per-participant deques as contiguous ranges; a
+   participant that drains its own range steals from the back of the
+   others.
+
+   When the whole batch plans below break-even (a single unit), the
+   pool degrades to a counted sequential run on the submitter: same
+   results, same stats visibility, none of the wakeup cost. *)
+
+(* A deque over a fixed unit-index range [lo, hi).  No units are ever
    pushed after creation (batches do not spawn work), so the deque is
    just two cursors moving toward each other, packed into one Atomic
    int (front in the high bits, back in the low bits) so a claim is a
-   single CAS and every index is claimed exactly once.  Ranges are
+   single CAS and every unit is claimed exactly once.  Ranges are
    bounded by the batch size, far below the 2^31 cursor ceiling. *)
 module Deque = struct
   type t = int Atomic.t
@@ -41,11 +53,14 @@ module Deque = struct
     else steal_back t
 end
 
+type chunking = Auto | Items of int
+
 type job = {
-  deques : Deque.t array; (* one per participant *)
+  deques : Deque.t array; (* one per participant, over unit indices *)
+  plan : (int * int) array; (* unit u covers item indices [lo, hi) *)
   participants : int;
   run_item : int -> unit; (* contract: must not raise *)
-  remaining : int Atomic.t; (* items not yet executed *)
+  remaining : int Atomic.t; (* units not yet executed *)
   done_m : Mutex.t;
   done_cv : Condition.t;
   obs_parent : Obs.Span.t;
@@ -81,8 +96,17 @@ let pool =
 let batches_c = Atomic.make 0
 let items_c = Atomic.make 0
 let steals_c = Atomic.make 0
+let chunks_c = Atomic.make 0
+let seq_fallbacks_c = Atomic.make 0
 
-type stats = { workers : int; batches : int; items : int; steals : int }
+type stats = {
+  workers : int;
+  batches : int;
+  items : int;
+  steals : int;
+  chunks : int;
+  seq_fallbacks : int;
+}
 
 let stats () =
   {
@@ -90,19 +114,25 @@ let stats () =
     batches = Atomic.get batches_c;
     items = Atomic.get items_c;
     steals = Atomic.get steals_c;
+    chunks = Atomic.get chunks_c;
+    seq_fallbacks = Atomic.get seq_fallbacks_c;
   }
 
 let reset_stats () =
   Atomic.set batches_c 0;
   Atomic.set items_c 0;
-  Atomic.set steals_c 0
+  Atomic.set steals_c 0;
+  Atomic.set chunks_c 0;
+  Atomic.set seq_fallbacks_c 0
 
 let pp_stats ppf s =
   Format.fprintf ppf "pool stats:@.";
   Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "workers" s.workers "batches"
     s.batches;
   Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "items" s.items "steals"
-    s.steals
+    s.steals;
+  Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "chunks" s.chunks
+    "seq-fallbacks" s.seq_fallbacks
 
 (* --- the scheduler --- *)
 
@@ -112,7 +142,7 @@ let pp_stats ppf s =
 let in_worker : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
-let finish_item j =
+let finish_unit j =
   (* last decrement wakes the submitter *)
   if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
     Mutex.lock j.done_m;
@@ -120,32 +150,42 @@ let finish_item j =
     Mutex.unlock j.done_m
   end
 
-let execute j i =
-  (* run_item must not raise (Batch captures per-item exceptions below
-     this layer); if it somehow does, the item still counts as executed
-     or the submitter would wait forever. *)
-  (try j.run_item i with _ -> ());
-  Atomic.incr items_c;
-  finish_item j
+let execute j u =
+  (* run one work unit: every item in its contiguous range, each under
+     its own handler — run_item must not raise (Batch captures
+     per-item exceptions below this layer), but if it somehow does the
+     rest of the unit still runs and the unit still counts as executed,
+     or the submitter would wait forever.  The unit's wall time feeds
+     the cost estimator, so granularity self-corrects batch over
+     batch. *)
+  let lo, hi = j.plan.(u) in
+  let t0 = Obs.now_ns () in
+  for i = lo to hi - 1 do
+    try j.run_item i with _ -> ()
+  done;
+  Cost.observe ~items:(hi - lo) ~total_ns:(Obs.now_ns () - t0);
+  ignore (Atomic.fetch_and_add items_c (hi - lo));
+  Atomic.incr chunks_c;
+  finish_unit j
 
 (* Participant p: drain the own deque from the front, then steal from
    the back of the others (round-robin from the right neighbour,
    staying on a victim until it dries).  All deques empty means every
-   item has been claimed — nothing left to do for this participant. *)
+   unit has been claimed — nothing left to do for this participant. *)
 let work j p =
   let dq = j.deques.(p) in
   let rec own () =
     match Deque.take_front dq with
-    | Some i ->
-        execute j i;
+    | Some u ->
+        execute j u;
         own ()
     | None -> scan 1
   and scan k =
     if k < j.participants then
       match Deque.steal_back j.deques.((p + k) mod j.participants) with
-      | Some i ->
+      | Some u ->
           Atomic.incr steals_c;
-          execute j i;
+          execute j u;
           scan k
       | None -> scan (k + 1)
   in
@@ -211,7 +251,32 @@ let sequential n run_item =
     run_item i
   done
 
-let run ~participants n run_item =
+(* The unit partition for a batch.  [Items k] is the manual override:
+   fixed-size blocks of [k] ([Items 1] reproduces the PR-4 per-item
+   scheduling exactly).  [Auto] scales the caller's relative weights
+   (or a uniform vector) by the current per-item estimate and plans to
+   the break-even target — giants come out singleton, small items come
+   out grouped. *)
+let make_plan ~chunk ~costs n =
+  match chunk with
+  | Items k ->
+      if k < 1 then invalid_arg "Pool.run: chunk item count must be >= 1";
+      let units = (n + k - 1) / k in
+      Array.init units (fun u -> (u * k, min n ((u + 1) * k)))
+  | Auto ->
+      let estimate = Cost.estimate_ns () in
+      let cost_ns =
+        match costs with
+        | Some w -> Cost.scale_weights ~estimate w
+        | None -> Array.make n estimate
+      in
+      Cost.plan ~target:(Cost.target_ns ()) cost_ns
+
+let run ?costs ?(chunk = Auto) ~participants n run_item =
+  (match costs with
+  | Some w when Array.length w <> n ->
+      invalid_arg "Pool.run: costs length must equal the item count"
+  | _ -> ());
   if n > 0 then begin
     let participants = min (min participants n) max_participants in
     if
@@ -224,48 +289,78 @@ let run ~participants n run_item =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock pool.submit)
         (fun () ->
-          ensure_workers (participants - 1);
-          let sp = Obs.Span.enter Obs.Span.Batch_run in
-          try
-            (* same contiguous seeding as the old static chunking — the
-               deques only change who finishes a range, never who is
-               assigned which result index *)
-            let base = n / participants and extra = n mod participants in
-            let deques =
-              Array.init participants (fun c ->
-                  let lo = (c * base) + min c extra in
-                  let hi = lo + base + if c < extra then 1 else 0 in
-                  Deque.make ~lo ~hi)
-            in
-            let job =
-              {
-                deques;
-                participants;
-                run_item;
-                remaining = Atomic.make n;
-                done_m = Mutex.create ();
-                done_cv = Condition.create ();
-                obs_parent = sp;
-              }
-            in
+          let plan = make_plan ~chunk ~costs n in
+          let units = Array.length plan in
+          if units < 2 then begin
+            (* Below break-even: the whole batch is one work unit, so
+               waking workers would cost more than it buys.  Run it on
+               the submitter — counted (stats and the Batch_run span
+               still see the batch) and timed (the estimator still
+               learns), unlike the uncounted guard paths above. *)
             Atomic.incr batches_c;
-            Mutex.lock pool.m;
-            pool.current <- Some job;
-            pool.gen <- pool.gen + 1;
-            Condition.broadcast pool.cv;
-            Mutex.unlock pool.m;
-            (* the submitter is participant 0: it works too, so a batch
-               always completes even if every worker is lagging *)
-            work job 0;
-            Mutex.lock job.done_m;
-            while Atomic.get job.remaining > 0 do
-              Condition.wait job.done_cv job.done_m
-            done;
-            Mutex.unlock job.done_m;
-            Obs.Span.exit_n sp n
-          with e ->
-            Obs.Span.fail sp;
-            raise e)
+            Atomic.incr seq_fallbacks_c;
+            ignore (Atomic.fetch_and_add items_c n);
+            let sp = Obs.Span.enter Obs.Span.Batch_run in
+            try
+              let t0 = Obs.now_ns () in
+              for i = 0 to n - 1 do
+                try run_item i with _ -> ()
+              done;
+              Cost.observe ~items:n ~total_ns:(Obs.now_ns () - t0);
+              Obs.Span.exit_n sp n
+            with e ->
+              Obs.Span.fail sp;
+              raise e
+          end
+          else begin
+            let participants = min participants units in
+            ensure_workers (participants - 1);
+            let sp = Obs.Span.enter Obs.Span.Batch_run in
+            try
+              (* same contiguous seeding as the old per-item deques,
+                 over unit indices — the deques only change who
+                 finishes a range, never which result index an item
+                 writes to *)
+              let base = units / participants
+              and extra = units mod participants in
+              let deques =
+                Array.init participants (fun c ->
+                    let lo = (c * base) + min c extra in
+                    let hi = lo + base + if c < extra then 1 else 0 in
+                    Deque.make ~lo ~hi)
+              in
+              let job =
+                {
+                  deques;
+                  plan;
+                  participants;
+                  run_item;
+                  remaining = Atomic.make units;
+                  done_m = Mutex.create ();
+                  done_cv = Condition.create ();
+                  obs_parent = sp;
+                }
+              in
+              Atomic.incr batches_c;
+              Mutex.lock pool.m;
+              pool.current <- Some job;
+              pool.gen <- pool.gen + 1;
+              Condition.broadcast pool.cv;
+              Mutex.unlock pool.m;
+              (* the submitter is participant 0: it works too, so a
+                 batch always completes even if every worker is
+                 lagging *)
+              work job 0;
+              Mutex.lock job.done_m;
+              while Atomic.get job.remaining > 0 do
+                Condition.wait job.done_cv job.done_m
+              done;
+              Mutex.unlock job.done_m;
+              Obs.Span.exit_n sp n
+            with e ->
+              Obs.Span.fail sp;
+              raise e
+          end)
   end
 
 let size () = pool.n_workers
@@ -281,4 +376,6 @@ let () =
           ("batches", Int s.batches);
           ("items", Int s.items);
           ("steals", Int s.steals);
+          ("chunks", Int s.chunks);
+          ("seq_fallbacks", Int s.seq_fallbacks);
         ])

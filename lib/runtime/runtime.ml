@@ -156,7 +156,10 @@ let reset () =
   Array.iter
     (fun s -> Mutex.protect s.m (fun () -> Lru.clear s.lru))
     decision_shards;
-  Obs.Counter2.reset decision_c
+  Obs.Counter2.reset decision_c;
+  (* scheduling state is warm-path state too: benchmarks that reset
+     between repetitions must also re-cold the chunk-size estimator *)
+  Cost.reset ()
 
 (* --- cached pipeline --- *)
 

@@ -148,7 +148,7 @@ let extract_compiled c doc =
 
 let extract t doc = extract_compiled (compile t) doc
 
-let extract_batch ?jobs ?fuel ?deadline_ms ?(retries = 0) t docs =
+let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t docs =
   let c = compile t in
   let step =
     match (fuel, deadline_ms) with
@@ -167,6 +167,9 @@ let extract_batch ?jobs ?fuel ?deadline_ms ?(retries = 0) t docs =
           | Guard.Decided r -> r
           | Guard.Unknown reason -> Error (Exhausted_budget reason))
   in
+  (* node count as the chunk planner's relative weight: page size is
+     the best static proxy for the linear-time matching cost (Lemma
+     5.2), so giants plan as singleton units before they ever run *)
   List.map
     (function Ok r -> r | Error msg -> Error (Worker_error msg))
-    (Batch.map_isolated ?jobs step docs)
+    (Batch.map_isolated ?jobs ~cost:Html_tree.count_nodes ?chunk step docs)

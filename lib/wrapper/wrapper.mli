@@ -75,6 +75,7 @@ val extract_compiled :
 
 val extract_batch :
   ?jobs:int ->
+  ?chunk:Pool.chunking ->
   ?fuel:int ->
   ?deadline_ms:int ->
   ?retries:int ->
@@ -92,4 +93,10 @@ val extract_batch :
     other item.  When [fuel] (and optionally [deadline_ms] / [retries])
     is given, each item runs under its own escalating {!Guard} budget
     and answers [Error (Exhausted_budget _)] when every attempt runs
-    out. *)
+    out.
+
+    Scheduling granularity: each document's node count is passed to
+    the pool's chunk planner as its relative cost, so cheap pages are
+    grouped into break-even work units and giant pages stay singleton
+    units; [chunk] overrides the planner ({!Pool.chunking}, default
+    [Auto]).  Like [jobs], it never changes the result list. *)

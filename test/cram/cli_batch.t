@@ -41,6 +41,33 @@ without touching stdout:
   $ grep -c "pool stats" stats.txt > /dev/null && echo has-pool-stats
   has-pool-stats
 
+Work-unit granularity is a scheduling knob, never a result knob:
+forcing per-item chunks (--chunk 1) is byte-identical to the
+cost-aware planner (--chunk auto, the default), and --stats reports
+the chunk and sequential-fallback counters:
+
+  $ rexdex batch -w w.rexdex --jobs 4 --chunk auto sample1.html sample2.html v1.html v2.html v3.html > ca.txt
+  $ rexdex batch -w w.rexdex --jobs 4 --chunk 1 sample1.html sample2.html v1.html v2.html v3.html > c1.txt
+  $ rexdex batch -w w.rexdex --jobs 4 --chunk 3 sample1.html sample2.html v1.html v2.html v3.html > c3.txt
+  $ cmp ca.txt c1.txt && cmp ca.txt c3.txt && cmp ca.txt j1.txt && echo chunk-identical
+  chunk-identical
+  $ rexdex batch -w w.rexdex --stats --chunk 1 sample1.html 2> cstats.txt
+  sample1.html: target at 2.1
+  $ grep -q "chunks" cstats.txt && echo has-chunk-counter
+  has-chunk-counter
+  $ grep -q "seq-fallbacks" cstats.txt && echo has-fallback-counter
+  has-fallback-counter
+
+Bad granularity specs are usage errors (exit 2), reported before any
+work runs:
+
+  $ rexdex batch -w w.rexdex --chunk 0 sample1.html
+  error: --chunk expects 'auto' or a positive integer, got 0
+  [2]
+  $ rexdex batch -w w.rexdex --chunk wide sample1.html
+  error: --chunk expects 'auto' or a positive integer, got wide
+  [2]
+
 Error paths: a corrupt wrapper file is rejected, and a page the
 wrapper cannot match fails with exit 1:
 
