@@ -945,10 +945,86 @@ let e15 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E16: artifact cold start — build from source vs .rxc load ----- *)
+
+let e16 () =
+  banner "E16" "artifact cold start: compile from source vs .rxc load";
+  Printf.printf
+    "the .rxc artifact ships the three validated minimal DFAs, so a\n\
+     loading process skips determinize/minimize entirely and pays only\n\
+     decode + CRC.  Both paths start from a reset runtime (cold caches)\n\
+     and end with a ready matcher over the E12 decision corpus.\n\n";
+  let exprs = decision_corpus () in
+  (* serialize outside the timed region: E16 times the consumer *)
+  let blobs =
+    List.map (fun e -> Artifact.to_bytes (Artifact.of_extraction e)) exprs
+  in
+  let build_one e () =
+    Runtime.reset ();
+    ignore (Sys.opaque_identity (Extraction.compile e))
+  in
+  let load_one blob () =
+    Runtime.reset ();
+    match Artifact.of_bytes blob with
+    | Ok a -> ignore (Sys.opaque_identity (Artifact.matcher a))
+    | Error err -> failwith (Artifact.error_to_string err)
+  in
+  Printf.printf "| expression | bytes | build ms | load ms | speedup |\n";
+  Printf.printf "|---|---|---|---|---|\n";
+  let rows =
+    List.map2
+      (fun e blob ->
+        let build_ms = time_ms ~reps:5 (build_one e) in
+        let load_ms = time_ms ~reps:5 (load_one blob) in
+        Printf.printf "| %-34s | %5d | %8.3f | %8.3f | x%.1f |\n"
+          (Extraction.to_string e) (String.length blob) build_ms load_ms
+          (build_ms /. load_ms);
+        (e, String.length blob, build_ms, load_ms))
+      exprs blobs
+  in
+  let total_build = List.fold_left (fun a (_, _, b, _) -> a +. b) 0.0 rows in
+  let total_load = List.fold_left (fun a (_, _, _, l) -> a +. l) 0.0 rows in
+  let load_faster = total_load < total_build in
+  Printf.printf "| TOTAL | | %8.3f | %8.3f | x%.1f |\n" total_build total_load
+    (total_build /. total_load);
+  Printf.printf
+    "shape check: loading beats building on the corpus total — the\n\
+     whole point of shipping artifacts (load_faster_than_build=%b).\n"
+    load_faster;
+  let path =
+    Option.value
+      (Sys.getenv_opt "BENCH_ARTIFACT_JSON")
+      ~default:"BENCH_artifact.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E16\",\n\
+    \  \"corpus_exprs\": %d,\n\
+    \  \"total_build_ms\": %.3f,\n\
+    \  \"total_load_ms\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"load_faster_than_build\": %b,\n\
+    \  \"rows\": [\n"
+    (List.length rows) total_build total_load
+    (total_build /. total_load)
+    load_faster;
+  List.iteri
+    (fun i (e, bytes, build_ms, load_ms) ->
+      Printf.fprintf oc
+        "    {\"expr\": \"%s\", \"artifact_bytes\": %d, \"build_ms\": %.3f, \
+         \"load_ms\": %.3f}%s\n"
+        (Extraction.to_string e) bytes build_ms load_ms
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
 
 let () =
   let requested =

@@ -2,6 +2,7 @@
 
    Subcommands:
      check      decide ambiguity and maximality of an extraction expression
+     compile    freeze a compiled expression into a verified .rxc artifact
      maximize   synthesize a maximal unambiguous generalization (§6)
      extract    run an extraction expression over a token string
      tokens     print the tag-sequence abstraction of an HTML file
@@ -34,6 +35,30 @@ let expr_arg =
 let parse_env syms expr_str =
   let alpha = Alphabet.make syms in
   (alpha, Extraction.parse alpha expr_str)
+
+(* --- artifact arguments (compile, check --load, batch --load) ---
+
+   [.rxc] files carry the alphabet and the validated DFAs, so loading
+   one replaces both -a and the compile step.  A path is taken as an
+   opaque string (not Arg.file): unreadable or corrupt artifacts must
+   exit 2 with the loader's structured reason, not cmdliner's. *)
+
+let load_arg ~instead_of =
+  let doc =
+    Printf.sprintf
+      "Load a compiled artifact ('rexdex compile') instead of %s.  A bad \
+       artifact (truncated, corrupted, wrong version…) exits 2 with its \
+       structured reason."
+      instead_of
+  in
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE.rxc" ~doc)
+
+let load_artifact path =
+  match Artifact.load path with
+  | Ok a -> a
+  | Error err ->
+      Format.eprintf "%s: %s@." path (Artifact.error_to_string err);
+      exit 2
 
 (* --- budget arguments (check, batch) ---
 
@@ -138,10 +163,51 @@ let handle_errors f =
 (* --- check --- *)
 
 let check_cmd =
-  let run syms expr_str fuel deadline_ms retries trace metrics =
+  let alphabet_opt_arg =
+    let doc =
+      "Alphabet symbols, comma-separated.  Required unless --load supplies \
+       the artifact's stored alphabet."
+    in
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "a"; "alphabet" ] ~docv:"SYMS" ~doc)
+  in
+  let expr_opt_arg =
+    let doc = "Extraction expression, e.g. '([^p])* <p> .*'." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+  in
+  let run syms expr_str load fuel deadline_ms retries trace metrics =
     handle_errors @@ fun () ->
     obs_setup trace metrics;
-    let alpha, e = parse_env syms expr_str in
+    let alpha, e =
+      match (load, expr_str) with
+      | Some _, Some _ ->
+          Format.eprintf "error: give either an EXPR or --load, not both@.";
+          exit 2
+      | None, None ->
+          Format.eprintf
+            "error: give an EXPR to check, or --load a compiled artifact@.";
+          exit 2
+      | Some path, None ->
+          if syms <> None then begin
+            Format.eprintf
+              "error: the alphabet is stored in the artifact; drop -a when \
+               using --load@.";
+            exit 2
+          end;
+          let a = load_artifact path in
+          (* warm the language caches with the verified DFAs so the
+             decisions below count as warm-path traffic *)
+          Artifact.seed_caches a;
+          (a.Artifact.alpha, a.Artifact.expr)
+      | None, Some expr_str -> (
+          match syms with
+          | None ->
+              Format.eprintf "error: -a/--alphabet is required without --load@.";
+              exit 2
+          | Some syms -> parse_env syms expr_str)
+    in
     Format.printf "expression : %a@." Extraction.pp e;
     (* [decide name f]: unbudgeted when no bound was requested (the
        historical, total-for-in-budget-inputs path); otherwise the
@@ -181,8 +247,38 @@ let check_cmd =
   let doc = "decide ambiguity (Prop 5.4) and maximality (Cor 5.8)" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ alphabet_arg $ expr_arg $ fuel_arg $ deadline_arg
+      const run $ alphabet_opt_arg $ expr_opt_arg
+      $ load_arg ~instead_of:"compiling EXPR" $ fuel_arg $ deadline_arg
       $ retries_arg $ trace_arg $ metrics_arg)
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let out_arg =
+    let doc = "Artifact output path (conventionally FILE.rxc)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE.rxc" ~doc)
+  in
+  let run syms expr_str out trace metrics =
+    handle_errors @@ fun () ->
+    obs_setup trace metrics;
+    let _alpha, e = parse_env syms expr_str in
+    let a = Artifact.of_extraction e in
+    Artifact.save a out;
+    Format.printf "expression : %a@." Extraction.pp e;
+    Format.printf "artifact   : %s (%d bytes, format v%d)@." out
+      (String.length (Artifact.to_bytes a))
+      Artifact.format_version
+  in
+  let doc =
+    "compile an extraction expression to a verified binary artifact (.rxc) \
+     that 'check --load' and 'batch --load' start from with zero build cost"
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const run $ alphabet_arg $ expr_arg $ out_arg $ trace_arg $ metrics_arg)
 
 (* --- maximize --- *)
 
@@ -368,11 +464,11 @@ let apply_cmd =
 
 let batch_cmd =
   let wrapper_arg =
-    let doc = "Wrapper file produced by 'learn --save'." in
-    Arg.(
-      required
-      & opt (some file) None
-      & info [ "w"; "wrapper" ] ~docv:"FILE" ~doc)
+    let doc =
+      "Wrapper file produced by 'learn --save'.  Exactly one of -w and \
+       --load is required."
+    in
+    Arg.(value & opt (some file) None & info [ "w"; "wrapper" ] ~docv:"FILE" ~doc)
   in
   let pages_arg =
     let doc = "HTML pages to extract from." in
@@ -412,8 +508,8 @@ let batch_cmd =
     in
     Arg.(value & opt string "auto" & info [ "chunk" ] ~docv:"auto|N" ~doc)
   in
-  let run wrapper_file pages jobs cache_size stats fuel deadline_ms retries
-      inject chunk trace metrics =
+  let run wrapper_file load pages jobs cache_size stats fuel deadline_ms
+      retries inject chunk trace metrics =
     handle_errors @@ fun () ->
     obs_setup trace metrics;
     let chunk =
@@ -430,35 +526,53 @@ let batch_cmd =
     in
     (match cache_size with Some n -> Runtime.set_cache_size n | None -> ());
     if inject <> [] then Guard_faults.arm Guard_faults.Batch_item ~at:inject;
-    match Wrapper_io.load wrapper_file with
-    | Error e ->
-        Format.eprintf "%s: %s@." wrapper_file e;
-        exit 2
-    | Ok w ->
-        let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
-        let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
-        let results =
-          Wrapper.extract_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w docs
-        in
-        let failures = ref 0 and unknowns = ref 0 in
-        List.iter2
-          (fun f result ->
-            match result with
-            | Ok path ->
-                Format.printf "%s: target at %s@." f
-                  (String.concat "." (List.map string_of_int path))
-            | Error e ->
-                (match e with
-                | Wrapper.Exhausted_budget _ -> incr unknowns
-                | _ -> incr failures);
-                Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
-          pages results;
-        if stats then begin
-          Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
-          Format.eprintf "%a" Pool.pp_stats (Pool.stats ())
-        end;
-        if !unknowns > 0 then exit exit_unknown;
-        if !failures > 0 then exit 1
+    let w =
+      match (wrapper_file, load) with
+      | Some _, Some _ ->
+          Format.eprintf "error: give either -w/--wrapper or --load, not both@.";
+          exit 2
+      | None, None ->
+          Format.eprintf
+            "error: a wrapper (-w) or a compiled artifact (--load) is \
+             required@.";
+          exit 2
+      | Some wf, None -> (
+          match Wrapper_io.load wf with
+          | Error e ->
+              Format.eprintf "%s: %s@." wf e;
+              exit 2
+          | Ok w -> w)
+      | None, Some path -> (
+          match Wrapper.of_artifact (load_artifact path) with
+          | Error e ->
+              Format.eprintf "%s: %s@." path e;
+              exit 2
+          | Ok w -> w)
+    in
+    let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
+    let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
+    let results =
+      Wrapper.extract_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w docs
+    in
+    let failures = ref 0 and unknowns = ref 0 in
+    List.iter2
+      (fun f result ->
+        match result with
+        | Ok path ->
+            Format.printf "%s: target at %s@." f
+              (String.concat "." (List.map string_of_int path))
+        | Error e ->
+            (match e with
+            | Wrapper.Exhausted_budget _ -> incr unknowns
+            | _ -> incr failures);
+            Format.printf "%s: %a@." f Wrapper.pp_extract_error e)
+      pages results;
+    if stats then begin
+      Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
+      Format.eprintf "%a" Pool.pp_stats (Pool.stats ())
+    end;
+    if !unknowns > 0 then exit exit_unknown;
+    if !failures > 0 then exit 1
   in
   let doc =
     "apply a saved wrapper to many pages at once (compile-once \
@@ -466,9 +580,11 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ wrapper_arg $ pages_arg $ jobs_arg $ cache_size_arg
-      $ stats_arg $ fuel_arg $ deadline_arg $ retries_arg $ inject_fault_arg
-      $ chunk_arg $ trace_arg $ metrics_arg)
+      const run $ wrapper_arg
+      $ load_arg ~instead_of:"a 'learn --save' wrapper file"
+      $ pages_arg $ jobs_arg $ cache_size_arg $ stats_arg $ fuel_arg
+      $ deadline_arg $ retries_arg $ inject_fault_arg $ chunk_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- validate (DTD) --- *)
 
@@ -573,4 +689,4 @@ let () =
   let doc = "resilient data extraction from semistructured sources" in
   let info = Cmd.info "rexdex" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ check_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; batch_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))
+    [ check_cmd; compile_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; batch_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))

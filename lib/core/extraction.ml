@@ -98,6 +98,21 @@ let compile expr =
   Dfa.validate right_rev_dfa;
   { expr; left_dfa; right_rev_dfa }
 
+(* Checksum-licensed constructor: the .rxc artifact loader decodes its
+   DFAs under the same structural checks Dfa.validate performs (delta
+   length and targets, finals length, start in range) and proves byte
+   integrity with a CRC-32, so re-validating here would only repeat
+   work already done.  The contract is the caller's to uphold — a DFA
+   that never passed those checks makes the unsafe_step hot path
+   unsound. *)
+let matcher_of_validated expr ~left_dfa ~right_rev_dfa =
+  let expect_alpha = Alphabet.size expr.alpha in
+  if
+    left_dfa.Dfa.alpha_size <> expect_alpha
+    || right_rev_dfa.Dfa.alpha_size <> expect_alpha
+  then invalid_arg "Extraction.matcher_of_validated: alphabet size mismatch";
+  { expr; left_dfa; right_rev_dfa }
+
 let matcher_expr m = m.expr
 
 (* Per-domain scratch for the suffix_ok bitset: one Bytes buffer per

@@ -67,6 +67,20 @@ val compile : t -> matcher
     structural invariants the zero-allocation hot path of
     {!matcher_splits} relies on. *)
 
+val matcher_of_validated :
+  t -> left_dfa:Dfa.t -> right_rev_dfa:Dfa.t -> matcher
+(** Assemble a matcher from DFAs that {e already} satisfy the
+    {!Dfa.validate} invariants, skipping re-validation.  The intended
+    caller is the [.rxc] artifact loader, whose decoder enforces the
+    same structural checks field-by-field and whose CRC-32 rejects any
+    corrupted payload — that verified decode is the licence for the
+    zero-allocation [unsafe_step] hot path, exactly as [validate] is on
+    the {!compile} path.  [left_dfa] must be the minimal DFA of the
+    left language and [right_rev_dfa] of the {e reversed} right
+    language.  Only the alphabet sizes are re-checked here
+    (@raise Invalid_argument on mismatch); feeding DFAs that never
+    passed the checks is unsound. *)
+
 val matcher_expr : matcher -> t
 
 val matcher_splits : matcher -> Word.t -> int list

@@ -24,4 +24,11 @@ val end_symbol : string -> string
 val refinements : t -> string -> string option
 (** The refining attribute for an element, if any. *)
 
+val to_string : t -> string
+(** Persistence form: ["tags"] or ["tags+attrs EL.ATTR,EL.ATTR"] — the
+    wrapper-file and [.rxc]-artifact metadata encoding ({!of_string}
+    inverts it). *)
+
+val of_string : string -> (t, string) result
+
 val pp : Format.formatter -> t -> unit

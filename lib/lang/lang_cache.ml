@@ -86,6 +86,16 @@ let cached stage key compute =
         Mutex.protect s.m (fun () -> Lru.add s.lru key v);
         v
 
+let seed key v =
+  (* Pre-populate a binding without touching the hit/miss counters:
+     seeding is not a lookup, so warm-start statistics stay honest —
+     the first client lookup of a seeded key counts as the hit it is.
+     A no-op with the cache disabled (nothing would ever read it). *)
+  if Atomic.get enabled_flag then begin
+    let s = shards.(shard_ix key) in
+    Mutex.protect s.m (fun () -> Lru.add s.lru key v)
+  end
+
 let set_capacity n =
   Atomic.set configured_capacity n;
   let per_shard = shard_cap n in

@@ -44,6 +44,17 @@ val cached : stage -> key -> (unit -> Dfa.t) -> Dfa.t
     run [compute], store and return its result.  With the cache
     disabled, just computes. *)
 
+val seed : key -> Dfa.t -> unit
+(** [seed key dfa] — pre-populate a binding, counting neither a hit nor
+    a miss (seeding is not a lookup).  The artifact loader uses this to
+    start a process warm: a deserialized [.rxc] DFA is installed under
+    the same key {!cached} would have stored it under, so the first
+    pipeline call over the loaded expression is an LRU hit instead of a
+    rebuild.  The caller vouches that [dfa] is what the stage's
+    [compute] would have produced for [key] (the minimal canonical
+    DFA); the artifact layer's checksum licenses that.  No-op when the
+    cache is disabled. *)
+
 (** {1 Configuration and introspection} *)
 
 val set_capacity : int -> unit

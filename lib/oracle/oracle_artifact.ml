@@ -1,0 +1,118 @@
+(* Differential oracles for the [.rxc] artifact layer (Artifact).
+
+   The checksum-licenses-unsafe_step invariant makes the loader part of
+   the trusted base: a loaded artifact skips Dfa.validate on the
+   matcher path.  These oracles keep that licence honest from both
+   sides — the happy path (a loaded matcher must be observationally
+   identical to a freshly compiled one, alone and under the pool) and
+   the rejection path (every truncation and every single-bit flip of a
+   well-formed file must come back as a structured [Error], never an
+   exception and never [Ok]). *)
+
+let roundtrip e =
+  match Artifact.of_bytes (Artifact.to_bytes (Artifact.of_extraction e)) with
+  | Ok a -> a
+  | Error err ->
+      QCheck.Test.fail_reportf "round-trip rejected: %s"
+        (Artifact.error_to_string err)
+
+let flip_bit s i j =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
+  Bytes.to_string b
+
+let structured_reject bytes =
+  match Artifact.of_bytes bytes with
+  | Ok _ -> false
+  | Error _ -> true
+  | exception e ->
+      QCheck.Test.fail_reportf "of_bytes raised %s" (Printexc.to_string e)
+
+let job_counts = [ 1; 2; 4 ]
+
+let tests ~count =
+  [
+    QCheck.Test.make ~count
+      ~name:"artifact: to_bytes ∘ of_bytes is the structural identity"
+      (Oracle_gen.arb_extraction_case ())
+      (fun e ->
+        let a = Artifact.of_extraction e in
+        let r = roundtrip e in
+        Artifact.equal a r
+        && r.Artifact.expr.Extraction.mark = e.Extraction.mark
+        && Alphabet.names r.Artifact.alpha = Alphabet.names e.Extraction.alpha);
+    QCheck.Test.make ~count
+      ~name:"artifact: loaded matcher ≡ fresh compile on splits/extract"
+      (Oracle_gen.arb_extraction_word_case ())
+      (fun (e, w) ->
+        let loaded = Artifact.matcher (roundtrip e) in
+        let fresh = Extraction.compile e in
+        Extraction.matcher_splits loaded w = Extraction.matcher_splits fresh w
+        && Extraction.matcher_extract loaded w
+           = Extraction.matcher_extract fresh w);
+    QCheck.Test.make ~count
+      ~name:"artifact: loaded matcher under Batch.map ≡ List.map, jobs 1/2/4"
+      (Oracle_gen.arb_extraction_word_case ())
+      (fun (e, w) ->
+        let m = Artifact.matcher (roundtrip e) in
+        let words =
+          List.init 10 (fun k -> Array.sub w 0 (Array.length w * (k mod 5) / 5))
+          @ [ w; w ]
+        in
+        let expect = List.map (Extraction.matcher_splits m) words in
+        List.for_all
+          (fun jobs ->
+            Batch.map ~jobs (Extraction.matcher_splits m) words = expect)
+          job_counts);
+    QCheck.Test.make ~count
+      ~name:"artifact: every truncation prefix is a structured rejection"
+      (Oracle_gen.arb_extraction_case ())
+      (fun e ->
+        let bytes = Artifact.to_bytes (Artifact.of_extraction e) in
+        let ok = ref true in
+        for k = 0 to String.length bytes - 1 do
+          if not (structured_reject (String.sub bytes 0 k)) then ok := false
+        done;
+        !ok);
+    QCheck.Test.make ~count
+      ~name:"artifact: every single-bit flip is a structured rejection"
+      (Oracle_gen.arb_extraction_case ())
+      (fun e ->
+        let bytes = Artifact.to_bytes (Artifact.of_extraction e) in
+        let ok = ref true in
+        for i = 0 to String.length bytes - 1 do
+          for j = 0 to 7 do
+            if not (structured_reject (flip_bit bytes i j)) then ok := false
+          done
+        done;
+        !ok);
+    QCheck.Test.make ~count
+      ~name:"artifact: seed_caches turns the first pipeline build into a hit"
+      (Oracle_gen.arb_extraction_case ())
+      (fun e ->
+        let a = roundtrip e in
+        let was_enabled = Lang_cache.enabled () in
+        Fun.protect
+          ~finally:(fun () -> Lang_cache.set_enabled was_enabled)
+          (fun () ->
+            Lang_cache.set_enabled true;
+            Lang_cache.clear ();
+            Artifact.seed_caches a;
+            (* look up through the loaded expression, as a consumer of
+               the artifact would (its ASTs are the ones that intern to
+               the seeded keys) *)
+            let le = a.Artifact.expr in
+            let hits0, _ = Lang_cache.counts Lang_cache.Compile in
+            let left =
+              Lang.dfa (Lang.of_regex le.Extraction.alpha le.Extraction.left)
+            in
+            let right =
+              Lang.dfa (Lang.of_regex le.Extraction.alpha le.Extraction.right)
+            in
+            let hits1, _ = Lang_cache.counts Lang_cache.Compile in
+            (* the seeded DFAs are what the pipeline would have built,
+               and both lookups were served from the seed *)
+            Dfa.equal_structure left a.Artifact.left_dfa
+            && Dfa.equal_structure right a.Artifact.right_dfa
+            && hits1 - hits0 = 2));
+  ]

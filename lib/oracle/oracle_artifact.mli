@@ -1,0 +1,9 @@
+(** Differential oracles for the [.rxc] artifact layer: save∘load is
+    the identity on compiled expressions, a loaded matcher is
+    observationally identical to a freshly compiled one (sequentially
+    and across the pool), the deserializer is total and rejects every
+    truncation and single-bit corruption with a structured error, and
+    cache seeding installs exactly the DFAs the pipeline would have
+    built. *)
+
+val tests : count:int -> QCheck.Test.t list

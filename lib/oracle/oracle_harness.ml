@@ -21,6 +21,7 @@ let all =
     { name = "guard"; tests = Oracle_guard.tests };
     { name = "sched"; tests = Oracle_sched.tests };
     { name = "obs"; tests = Oracle_obs.tests };
+    { name = "artifact"; tests = Oracle_artifact.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

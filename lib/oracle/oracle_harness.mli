@@ -19,12 +19,15 @@ type outcome = {
 type suite = { name : string; tests : count:int -> QCheck.Test.t list }
 
 val all : suite list
-(** The ten oracle layers: membership, counting, quotient-laws,
+(** The twelve oracle layers: membership, counting, quotient-laws,
     ambiguity, maximality, order-laws, synthesis, runtime (the cached
     pipeline vs. the direct one), guard (budgeted verdicts vs.
     unbounded ones, fuel monotonicity, fault-injected batch
     isolation), sched (the work-stealing pool vs. sequential
-    [List.map], matcher scratch path vs. its allocating reference). *)
+    [List.map], matcher scratch path vs. its allocating reference),
+    obs (tracing is observation only), artifact (save∘load identity,
+    loaded ≡ fresh matchers, deserializer totality under truncation
+    and bit flips, cache seeding). *)
 
 val run : seed:int -> budget:int -> suite list -> outcome list
 (** [run ~seed ~budget suites] — [budget] is the total number of fuzz

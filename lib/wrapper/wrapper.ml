@@ -148,6 +148,31 @@ let extract_compiled c doc =
 
 let extract t doc = extract_compiled (compile t) doc
 
+(* --- .rxc artifacts: ship the compiled form, start warm --- *)
+
+let compile_to t path =
+  Artifact.save
+    (Artifact.of_extraction ~abstraction:(Abstraction.to_string t.abs) t.expr)
+    path
+
+let of_artifact a =
+  match Abstraction.of_string a.Artifact.abstraction with
+  | Error e -> Error ("bad artifact abstraction: " ^ e)
+  | Ok abs ->
+      (* the deserialized DFAs become both the matcher (no recompile,
+         no re-validate: the decoder's structural checks + CRC license
+         it) and warm Lang_cache entries, so decision procedures over
+         the loaded expression start as cache hits *)
+      Artifact.seed_caches a;
+      Ok
+        {
+          alpha = a.Artifact.alpha;
+          abs;
+          expr = a.Artifact.expr;
+          matcher = Artifact.matcher a;
+          strategy = None;
+        }
+
 let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t docs =
   let c = compile t in
   let step =

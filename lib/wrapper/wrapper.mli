@@ -73,6 +73,27 @@ val extract_compiled :
   compiled -> Html_tree.doc -> (Html_tree.path, extract_error) result
 (** Same contract as {!extract}. *)
 
+(** {1 Artifacts}
+
+    Ship the compiled form across processes: {!compile_to} freezes a
+    learned wrapper into a [.rxc] file ({!Artifact}), and
+    {!of_artifact} rebuilds a ready wrapper from a loaded artifact
+    without re-running determinization — the loaded DFAs are wired
+    straight into the matcher and seeded into {!Lang_cache}, so the
+    warm-path statistics count them as cache traffic. *)
+
+val compile_to : t -> string -> unit
+(** Package the wrapper's expression (plus its abstraction, in
+    {!Abstraction.to_string} form) and save it at the given path.  The
+    maximization [strategy] is not persisted — a reloaded wrapper
+    extracts identically but reports [strategy = None]. *)
+
+val of_artifact : Artifact.t -> (t, string) result
+(** Wrapper from a verified artifact.  Errors only when the stored
+    abstraction string does not parse ({!Abstraction.of_string}).  As a
+    side effect the artifact's DFAs are seeded into {!Lang_cache}
+    ({!Artifact.seed_caches}). *)
+
 val extract_batch :
   ?jobs:int ->
   ?chunk:Pool.chunking ->

@@ -1,39 +1,7 @@
 let magic = "rexdex-wrapper/1"
 
-let abstraction_to_string = function
-  | Abstraction.Tags -> "tags"
-  | Abstraction.Tags_with_attrs specs ->
-      "tags+attrs "
-      ^ String.concat "," (List.map (fun (el, at) -> el ^ "." ^ at) specs)
-
-let abstraction_of_string s =
-  let s = String.trim s in
-  if s = "tags" then Ok Abstraction.Tags
-  else
-    match String.index_opt s ' ' with
-    | Some i when String.sub s 0 i = "tags+attrs" ->
-        let rest = String.sub s (i + 1) (String.length s - i - 1) in
-        let specs =
-          String.split_on_char ',' rest
-          |> List.filter (fun x -> String.trim x <> "")
-          |> List.map (fun spec ->
-                 match String.index_opt spec '.' with
-                 | Some j ->
-                     Ok
-                       ( String.sub spec 0 j,
-                         String.sub spec (j + 1) (String.length spec - j - 1) )
-                 | None -> Error ("bad refinement spec: " ^ spec))
-        in
-        let rec collect acc = function
-          | [] -> Ok (List.rev acc)
-          | Ok x :: rest -> collect (x :: acc) rest
-          | Error e :: _ -> Error e
-        in
-        Result.map
-          (fun specs -> Abstraction.Tags_with_attrs specs)
-          (collect [] specs)
-    | _ -> Error ("unknown abstraction: " ^ s)
-
+let abstraction_to_string = Abstraction.to_string
+let abstraction_of_string = Abstraction.of_string
 let one_line s = String.map (fun c -> if c = '\n' then ' ' else c) s
 
 let to_string (w : Wrapper.t) =

@@ -1,0 +1,95 @@
+Compiled artifacts: `rexdex compile` freezes an expression (alphabet,
+concrete syntax, mark, and the three validated minimal DFAs) into a
+versioned, checksummed .rxc file that `check --load` and
+`batch --load` start from without paying the determinize/minimize
+cost again.
+
+  $ rexdex compile -a p,q '([^p])* <p> .*' -o paper.rxc
+  expression : [^p]* <p> .*
+  artifact   : paper.rxc (129 bytes, format v1)
+
+Loading replaces both -a and the compile step, and the output is
+byte-identical to checking the expression from source:
+
+  $ rexdex check --load paper.rxc
+  expression : [^p]* <p> .*
+  ambiguous  : no
+  maximal    : yes
+  $ rexdex check -a p,q '([^p])* <p> .*' > from_source.txt
+  $ rexdex check --load paper.rxc > from_artifact.txt
+  $ cmp from_source.txt from_artifact.txt && echo identical
+  identical
+
+Every defence layer of the loader answers a structured reason and
+exit 2, never a crash.  Truncation (the file ends before its declared
+payload):
+
+  $ head -c 10 paper.rxc > broken.rxc
+  $ rexdex check --load broken.rxc
+  broken.rxc: truncated
+  [2]
+
+A corrupt magic number:
+
+  $ cp paper.rxc broken.rxc
+  $ printf 'X' | dd of=broken.rxc bs=1 seek=0 conv=notrunc status=none
+  $ rexdex check --load broken.rxc
+  broken.rxc: bad-magic
+  [2]
+
+An unknown format version:
+
+  $ cp paper.rxc broken.rxc
+  $ printf '\011' | dd of=broken.rxc bs=1 seek=4 conv=notrunc status=none
+  $ rexdex check --load broken.rxc
+  broken.rxc: bad-version 9
+  [2]
+
+A flipped payload byte fails the CRC-32:
+
+  $ cp paper.rxc broken.rxc
+  $ printf '\377' | dd of=broken.rxc bs=1 seek=100 conv=notrunc status=none
+  $ rexdex check --load broken.rxc
+  broken.rxc: checksum-mismatch
+  [2]
+
+Bytes appended after the payload are rejected (a file is exactly
+header + payload):
+
+  $ cp paper.rxc broken.rxc
+  $ printf 'Z' >> broken.rxc
+  $ rexdex check --load broken.rxc
+  broken.rxc: malformed: trailing bytes after the payload
+  [2]
+
+A missing file:
+
+  $ rexdex check --load missing.rxc
+  missing.rxc: malformed: cannot read artifact: missing.rxc: No such file or directory
+  [2]
+
+EXPR and --load are alternatives, not companions:
+
+  $ rexdex check -a p,q '([^p])* <p> .*' --load paper.rxc
+  error: give either an EXPR or --load, not both
+  [2]
+  $ rexdex check
+  error: give an EXPR to check, or --load a compiled artifact
+  [2]
+
+batch --load drives extraction from an artifact instead of a learned
+wrapper file, through the same loader (same structured failures):
+
+  $ cat > page.html <<'EOF'
+  > <html><body><b>x</b></body></html>
+  > EOF
+  $ rexdex compile -a 'HTML,/HTML,BODY,/BODY,B,/B' 'HTML BODY <B> /B /BODY /HTML' -o wb.rxc | tail -1
+  artifact   : wb.rxc (484 bytes, format v1)
+  $ rexdex batch --load wb.rxc page.html
+  page.html: target at 0.0.0
+  $ rexdex batch --load broken.rxc page.html
+  broken.rxc: malformed: trailing bytes after the payload
+  [2]
+  $ rexdex batch page.html
+  error: a wrapper (-w) or a compiled artifact (--load) is required
+  [2]

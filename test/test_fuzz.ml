@@ -52,6 +52,20 @@ let prop_wrapper_io_total =
     Oracle_soup.arb_bytes
     (fun s -> match Wrapper_io.of_string s with Ok _ | Error _ -> true)
 
+let prop_artifact_total =
+  qtest ~count:500 "Artifact.of_bytes rejects byte soup gracefully"
+    Oracle_soup.arb_bytes
+    (fun s -> match Artifact.of_bytes s with Ok _ | Error _ -> true)
+
+let prop_artifact_roundtrip =
+  qtest ~count:150 "Artifact save∘load is the structural identity"
+    (Oracle_gen.arb_extraction_case ())
+    (fun e ->
+      let a = Artifact.of_extraction e in
+      match Artifact.of_bytes (Artifact.to_bytes a) with
+      | Error _ -> false
+      | Ok b -> Artifact.equal a b)
+
 (* Deep nesting must not blow the stack at realistic depths. *)
 let test_deep_nesting () =
   let depth = 20_000 in
@@ -121,6 +135,8 @@ let () =
           prop_dtd_parse_total_dtdish;
           prop_regex_parse_total;
           prop_wrapper_io_total;
+          prop_artifact_total;
+          prop_artifact_roundtrip;
         ] );
       ( "pathological-inputs",
         [
