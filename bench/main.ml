@@ -1021,10 +1021,168 @@ let e16 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E17: serve daemon — supervised streaming under chaos ----- *)
+
+let e17 () =
+  banner "E17" "serve: supervised streaming sessions under a chaos mix";
+  Printf.printf
+    "a chaos workload drives the serve supervisor directly: %d\n\
+     concurrent sessions interleaved round-robin, malformed lines\n\
+     salted in, one session poisoned by the fault injector and one\n\
+     starved of fuel.  The gates: every clean session's splits must\n\
+     equal the offline matcher exactly, and the two casualties must\n\
+     surface as structured frames — never as a dead supervisor.\n\n"
+    128;
+  let alpha = Alphabet.make [ "p"; "q" ] in
+  let e = Extraction.parse alpha "([^p])* <p> .*" in
+  let m = Extraction.compile e in
+  let n_sessions = 128 in
+  let faulted = 3 and starved = 5 in
+  let word i =
+    let len = 5 + ((i * 7) mod 37) in
+    Array.init len (fun k -> if (k + i) mod 3 = 0 then 0 else 1)
+  in
+  let tokens_json id syms =
+    Printf.sprintf {|{"op":"tokens","id":%d,"syms":[%s]}|} id
+      (String.concat ","
+         (List.map (fun a -> Printf.sprintf "%S" (Alphabet.name alpha a)) syms))
+  in
+  let session_lines i =
+    let w = word i in
+    let open_l =
+      if i = starved then Printf.sprintf {|{"op":"open","id":%d,"fuel":2}|} i
+      else Printf.sprintf {|{"op":"open","id":%d}|} i
+    in
+    let rec chunks k acc =
+      if k >= Array.length w then List.rev acc
+      else
+        let n = min 8 (Array.length w - k) in
+        chunks (k + n)
+          (tokens_json i (Array.to_list (Array.sub w k n)) :: acc)
+    in
+    (open_l :: chunks 0 []) @ [ Printf.sprintf {|{"op":"close","id":%d}|} i ]
+  in
+  (* round-robin interleave across sessions, then salt with noise *)
+  let qs = Array.init n_sessions (fun i -> ref (session_lines i)) in
+  let interleaved =
+    let buf = ref [] and busy = ref true in
+    while !busy do
+      busy := false;
+      Array.iter
+        (fun q ->
+          match !q with
+          | [] -> ()
+          | l :: rest ->
+              busy := true;
+              q := rest;
+              buf := l :: !buf)
+        qs
+    done;
+    List.rev !buf
+  in
+  let lines =
+    List.concat
+      (List.mapi
+         (fun i l -> if i mod 29 = 0 then [ "### chaos noise"; l ] else [ l ])
+         interleaved)
+  in
+  let rec chop k = function
+    | [] -> []
+    | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let batch, rest = take k [] l in
+        batch :: chop k rest
+  in
+  let batches = chop 64 lines in
+  let run () =
+    Guard_faults.arm Guard_faults.Session_item ~at:[ faulted ];
+    Fun.protect ~finally:Guard_faults.disarm @@ fun () ->
+    let sup =
+      Supervisor.create
+        {
+          Supervisor.matcher = m;
+          alpha;
+          jobs = 4;
+          max_sessions = n_sessions;
+          fuel = None;
+          deadline_ms = None;
+          retry_after_ms = 50;
+        }
+    in
+    List.concat_map (Supervisor.handle_batch sup) batches
+  in
+  let lat0 = Supervisor.frame_latency () in
+  let ms = time_ms ~reps:3 (fun () -> ignore (Sys.opaque_identity (run ()))) in
+  let out = run () in
+  (* per-window latency via snapshot delta — the daemon-safe reading *)
+  let lat =
+    Obs.Histogram.delta ~earlier:lat0 (Supervisor.frame_latency ())
+  in
+  let n_lines = List.length lines in
+  let frames_per_s = float_of_int n_lines /. (ms /. 1000.0) in
+  let p99_us = Obs.Histogram.percentile_ns lat 0.99 / 1000 in
+  let splits_of id =
+    List.filter_map
+      (function
+        | Frame.Split { id = i; pos } when i = id -> Some pos | _ -> None)
+      out
+  in
+  let clean_exact = ref true in
+  for i = 0 to n_sessions - 1 do
+    if
+      i <> faulted && i <> starved
+      && splits_of i <> Extraction.matcher_splits m (word i)
+    then clean_exact := false
+  done;
+  let fault_surfaced =
+    List.exists
+      (function Frame.Err_fault { id; _ } -> id = faulted | _ -> false)
+      out
+  and budget_surfaced =
+    List.exists
+      (function Frame.Err_budget { id; _ } -> id = starved | _ -> false)
+      out
+  in
+  Printf.printf "| sessions | frames | batch ms | frames/s | p99 us |\n";
+  Printf.printf "|---|---|---|---|---|\n";
+  Printf.printf "| %8d | %6d | %8.3f | %8.0f | %6d |\n" n_sessions n_lines ms
+    frames_per_s p99_us;
+  Printf.printf
+    "shape check: clean_sessions_exact=%b, fault_surfaced=%b,\n\
+     budget_surfaced=%b — supervision must be observation-free for\n\
+     the survivors and structured for the casualties.\n"
+    !clean_exact fault_surfaced budget_surfaced;
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_SERVE_JSON") ~default:"BENCH_serve.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E17\",\n\
+    \  \"sessions\": %d,\n\
+    \  \"frames\": %d,\n\
+    \  \"batch_ms\": %.3f,\n\
+    \  \"frames_per_s\": %.0f,\n\
+    \  \"p99_us\": %d,\n\
+    \  \"clean_sessions_exact\": %b,\n\
+    \  \"fault_surfaced\": %b,\n\
+    \  \"budget_surfaced\": %b,\n\
+    \  \"survived\": true\n\
+     }\n"
+    n_sessions n_lines ms frames_per_s p99_us !clean_exact fault_surfaced
+    budget_surfaced;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17) ]
 
 let () =
   let requested =

@@ -156,6 +156,12 @@ let handle_errors f =
   | Regex_parse.Parse_error (msg, pos) ->
       Format.eprintf "parse error at offset %d: %s@." pos msg;
       exit 2
+  | Extraction.Not_online { expr } ->
+      Format.eprintf
+        "error: not_online: %s — streaming needs a Σ*-right expression \
+         (run 'rexdex maximize' first)@."
+        expr;
+      exit 2
   | Invalid_argument msg ->
       Format.eprintf "error: %s@." msg;
       exit 2
@@ -586,6 +592,142 @@ let batch_cmd =
       $ deadline_arg $ retries_arg $ inject_fault_arg $ chunk_arg $ trace_arg
       $ metrics_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let alphabet_opt_arg =
+    let doc =
+      "Alphabet symbols, comma-separated.  Required unless --load supplies \
+       the artifact's stored alphabet."
+    in
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "a"; "alphabet" ] ~docv:"SYMS" ~doc)
+  in
+  let expr_opt_arg =
+    let doc = "Extraction expression with a Σ* right side (online, §7)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Pool participants for advancing sessions (0 = one per recommended \
+       core).  Outgoing frames are identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let max_sessions_arg =
+    let doc =
+      "Admission cap: opens beyond this many live sessions are shed with a \
+       retry_after_ms hint."
+    in
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let retry_after_arg =
+    let doc = "Backoff hint (ms) attached to shed frames." in
+    Arg.(
+      value
+      & opt int Supervisor.default_retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS" ~doc)
+  in
+  let socket_arg =
+    let doc =
+      "Serve a Unix domain socket at this path instead of stdin/stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let batch_max_arg =
+    let doc = "Maximum frames handed to the supervisor per batch." in
+    Arg.(
+      value
+      & opt int Serve.default_batch_max
+      & info [ "batch-max" ] ~docv:"N" ~doc)
+  in
+  let stats_arg =
+    let doc =
+      "On exit, print serve/runtime/pool statistics for this run to stderr \
+       (snapshot deltas — the daemon never resets global state)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let inject_fault_arg =
+    let doc =
+      "TESTING: arm the deterministic fault injector to poison the session \
+       opened at this 0-based ordinal (repeatable).  The poisoned session \
+       dies with a structured err=fault frame; every other session's \
+       frames are byte-identical to a fault-free run."
+    in
+    Arg.(value & opt_all int [] & info [ "inject-fault" ] ~docv:"IDX" ~doc)
+  in
+  let run syms expr_str load jobs max_sessions fuel deadline_ms retry_after_ms
+      socket batch_max stats inject trace metrics =
+    handle_errors @@ fun () ->
+    obs_setup trace metrics;
+    if inject <> [] then Guard_faults.arm Guard_faults.Session_item ~at:inject;
+    let alpha, matcher =
+      match (load, expr_str) with
+      | Some _, Some _ ->
+          Format.eprintf "error: give either an EXPR or --load, not both@.";
+          exit 2
+      | None, None ->
+          Format.eprintf
+            "error: give an EXPR to serve, or --load a compiled artifact@.";
+          exit 2
+      | Some path, None ->
+          if syms <> None then begin
+            Format.eprintf
+              "error: the alphabet is stored in the artifact; drop -a when \
+               using --load@.";
+            exit 2
+          end;
+          let a = load_artifact path in
+          Artifact.seed_caches a;
+          (a.Artifact.alpha, Artifact.matcher a)
+      | None, Some expr_str -> (
+          match syms with
+          | None ->
+              Format.eprintf "error: -a/--alphabet is required without --load@.";
+              exit 2
+          | Some syms ->
+              let alpha, e = parse_env syms expr_str in
+              (alpha, Extraction.compile e))
+    in
+    let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
+    let cfg =
+      {
+        Serve.sup =
+          {
+            Supervisor.matcher;
+            alpha;
+            jobs;
+            max_sessions;
+            fuel;
+            deadline_ms;
+            retry_after_ms;
+          };
+        source =
+          (match socket with
+          | None -> Serve.Stdin
+          | Some path -> Serve.Socket path);
+        batch_max;
+        print_stats = stats;
+      }
+    in
+    exit (Serve.run cfg)
+  in
+  let doc =
+    "run a crash-only streaming extraction daemon: newline-delimited JSON \
+     frames in, split records out the moment they pin (§7 online \
+     extraction, supervised concurrent sessions)"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ alphabet_opt_arg $ expr_opt_arg
+      $ load_arg ~instead_of:"compiling EXPR"
+      $ jobs_arg $ max_sessions_arg $ fuel_arg $ deadline_arg $ retry_after_arg
+      $ socket_arg $ batch_max_arg $ stats_arg $ inject_fault_arg $ trace_arg
+      $ metrics_arg)
+
 (* --- validate (DTD) --- *)
 
 let validate_cmd =
@@ -689,4 +831,4 @@ let () =
   let doc = "resilient data extraction from semistructured sources" in
   let info = Cmd.info "rexdex" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ check_cmd; compile_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; batch_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))
+    [ check_cmd; compile_cmd; maximize_cmd; extract_cmd; tokens_cmd; learn_cmd; apply_cmd; batch_cmd; serve_cmd; perturb_cmd; validate_cmd; dot_cmd; selftest_cmd ]))

@@ -205,9 +205,21 @@ let matcher_extract m w = classify (matcher_splits m w)
 
 let matcher_online m = Dfa_ops.is_universal m.right_rev_dfa
 
+exception Not_online of { expr : string }
+
+let () =
+  Printexc.register_printer (function
+    | Not_online { expr } ->
+        Some
+          (Printf.sprintf
+             "Extraction.Not_online(%s): right side is not Σ*, one-pass \
+              streaming is undefined — maximize the expression first (§7)"
+             expr)
+    | _ -> None)
+
 let matcher_stream_splits m syms =
   if not (matcher_online m) then
-    invalid_arg "Extraction.matcher_stream_splits: right side is not Σ*";
+    raise (Not_online { expr = to_string m.expr });
   let mark = m.expr.mark in
   let dfa = m.left_dfa in
   let alpha = dfa.Dfa.alpha_size in

@@ -102,9 +102,18 @@ val matcher_online : matcher -> bool
 (** Whether the right side is Σ*, making one-pass streaming extraction
     possible (no suffix check needed). *)
 
+exception Not_online of { expr : string }
+(** Streaming was requested on a matcher whose right side is not Σ*.
+    Structured (carries the rendered expression, printer registered
+    with [Printexc]) so the CLI front ends — [serve] at startup,
+    [check]'s generic error path — can report [err=not_online] and
+    exit 2 instead of dumping a backtrace. *)
+
 val matcher_stream_splits : matcher -> int Seq.t -> int Seq.t
 (** Lazily yield split positions while consuming a token stream — each
     position is emitted as soon as its prefix has been read, without
     buffering the page.  Only defined for Σ*-right expressions, which is
     what maximization produces for the §7 pipeline.
-    @raise Invalid_argument if [not (matcher_online m)]. *)
+    @raise Not_online if [not (matcher_online m)].
+    @raise Invalid_argument (lazily, at the offending element) on a
+    symbol outside the alphabet. *)

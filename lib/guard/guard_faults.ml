@@ -1,9 +1,10 @@
-type site = Cache_lookup | Batch_item | Determinize
+type site = Cache_lookup | Batch_item | Determinize | Session_item
 
 let site_name = function
   | Cache_lookup -> "cache-lookup"
   | Batch_item -> "batch-item"
   | Determinize -> "determinize"
+  | Session_item -> "session-item"
 
 exception Injected of { site : string; hit : int }
 
@@ -13,8 +14,13 @@ let () =
         Some (Printf.sprintf "Guard_faults.Injected(%s, hit %d)" site hit)
     | _ -> None)
 
-let n_sites = 3
-let site_id = function Cache_lookup -> 0 | Batch_item -> 1 | Determinize -> 2
+let n_sites = 4
+
+let site_id = function
+  | Cache_lookup -> 0
+  | Batch_item -> 1
+  | Determinize -> 2
+  | Session_item -> 3
 
 (* One global switch guards every probe; the per-site state only
    matters once something is armed.  Counters are atomic because

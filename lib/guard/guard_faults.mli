@@ -13,6 +13,11 @@ type site =
   | Cache_lookup  (** entry of [Lang_cache.cached] *)
   | Batch_item  (** per-item boundary inside a [Batch] worker *)
   | Determinize  (** each new subset state of [Determinize.run] *)
+  | Session_item
+      (** per-feed boundary of a [Serve] streaming session, indexed by
+          the session's open ordinal (0-based) — poisons one daemon
+          session while its concurrent neighbours must stay
+          byte-identical to a fault-free run *)
 
 val site_name : site -> string
 

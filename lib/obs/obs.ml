@@ -99,6 +99,188 @@ module Json = struct
   let get_bool = function
     | Bool b -> b
     | _ -> invalid_arg "Obs.Json.get_bool: not a Bool"
+
+  let get_str = function
+    | Str s -> s
+    | _ -> invalid_arg "Obs.Json.get_str: not a Str"
+
+  (* Total recursive-descent parser for the serve wire protocol and the
+     metrics round-trip tests.  Depth-capped so adversarial nesting
+     cannot blow the stack; every failure is [Error], never an
+     exception (the frame-decoder fuzz suite holds this to 500 random
+     byte lines plus every truncation of a valid frame). *)
+  exception Bad of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char b '"'
+                 | '\\' -> Buffer.add_char b '\\'
+                 | '/' -> Buffer.add_char b '/'
+                 | 'b' -> Buffer.add_char b '\b'
+                 | 'f' -> Buffer.add_char b '\012'
+                 | 'n' -> Buffer.add_char b '\n'
+                 | 'r' -> Buffer.add_char b '\r'
+                 | 't' -> Buffer.add_char b '\t'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let hex = String.sub s (!pos + 1) 4 in
+                     let code =
+                       try int_of_string ("0x" ^ hex)
+                       with _ -> fail "bad \\u escape"
+                     in
+                     (* BMP code points as UTF-8; enough for a wire
+                        protocol whose field names are ASCII *)
+                     if code < 0x80 then Buffer.add_char b (Char.chr code)
+                     else if code < 0x800 then begin
+                       Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                     end
+                     else begin
+                       Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                       Buffer.add_char b
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                     end;
+                     pos := !pos + 4
+                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              advance ();
+              go ()
+          | c ->
+              advance ();
+              Buffer.add_char b c;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+            advance ();
+            go ()
+        | Some ('.' | 'e' | 'E') ->
+            is_float := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      let lit = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt lit with
+        | Some i -> Int i
+        | None -> fail "bad number"
+    in
+    let rec parse_value depth =
+      if depth > 64 then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value (depth + 1) in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else
+            let rec elements acc =
+              let v = parse_value (depth + 1) in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing bytes after value";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
 end
 
 (* --- packed hit/miss pairs --- *)
@@ -190,6 +372,48 @@ module Histogram = struct
      than surfaced. *)
   let mean_ns (s : snapshot) =
     if s.count <= 0 then 0 else max 0 (s.total_ns / s.count)
+
+  (* Window = later − earlier, component-wise and clamped at zero: the
+     serve-safe alternative to [reset] for per-session / per-window
+     metrics inside a long-lived daemon, where zeroing global state
+     would corrupt every other observer.  [max_ns] is not a
+     difference — the maximum of the window cannot be recovered from
+     two cumulative snapshots — so the later snapshot's value is kept
+     as an upper bound. *)
+  let delta ~(earlier : snapshot) (later : snapshot) : snapshot =
+    {
+      count = max 0 (later.count - earlier.count);
+      total_ns = max 0 (later.total_ns - earlier.total_ns);
+      max_ns = later.max_ns;
+      buckets =
+        Array.init n_buckets (fun i ->
+            max 0 (later.buckets.(i) - earlier.buckets.(i)));
+    }
+
+  (* Upper bound of the bucket holding the q-th percentile observation
+     (0 < q <= 1), in ns; the open-ended top bucket answers [max_ns].
+     Coarse by construction (log2 buckets) but monotone and total —
+     an empty snapshot answers 0. *)
+  let percentile_ns (s : snapshot) q =
+    if s.count <= 0 then 0
+    else begin
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int s.count)) in
+        if r < 1 then 1 else if r > s.count then s.count else r
+      in
+      let rec go i seen =
+        if i >= n_buckets then s.max_ns
+        else
+          let seen = seen + s.buckets.(i) in
+          if seen >= rank then
+            if i = n_buckets - 1 then s.max_ns
+            else
+              (* bucket i covers [2^i, 2^(i+1)) µs (bucket 0: [0,2)) *)
+              (1 lsl (i + 1)) * 1000
+          else go (i + 1) seen
+      in
+      go 0 0
+    end
 
   let reset (t : t) =
     Array.iter (fun b -> Atomic.set b 0) t.buckets;

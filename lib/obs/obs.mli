@@ -93,6 +93,23 @@ module Histogram : sig
   (** Mean observed duration, [0] when the snapshot is empty (never
       divides by zero) and clamped at zero if [total_ns] wrapped. *)
 
+  val delta : earlier:snapshot -> snapshot -> snapshot
+  (** [delta ~earlier later] — the window of observations between two
+      cumulative snapshots, component-wise [later − earlier] clamped
+      at zero.  This is the {e serve-safe} way to report per-session
+      or per-window latencies from a long-lived daemon: take a
+      snapshot at the window edges and subtract, instead of calling
+      [reset] and destroying every concurrent observer's baseline.
+      [max_ns] cannot be recovered from cumulative snapshots, so the
+      later snapshot's maximum is kept as an upper bound. *)
+
+  val percentile_ns : snapshot -> float -> int
+  (** [percentile_ns s q] — an upper bound (the covering bucket's
+      edge) for the [q]-th percentile observation, [0 < q <= 1]; the
+      open-ended top bucket and [q = 1.0] answer [max_ns], an empty
+      snapshot answers [0].  Coarse (log2 buckets) but monotone —
+      what the E17 p99 frame-latency gate reads. *)
+
   val reset : t -> unit
 end
 
@@ -212,6 +229,16 @@ module Json : sig
   (** [Int] payload; raises [Invalid_argument] otherwise. *)
 
   val get_bool : t -> bool
+
+  val get_str : t -> string
+  (** [Str] payload; raises [Invalid_argument] otherwise. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON value.  {e Total}: any byte string answers [Ok]
+      or [Error] (with an offset-bearing reason), never an exception —
+      the serve frame decoder and its fuzz suite rely on this.
+      Nesting is capped (64 levels) so adversarial input cannot blow
+      the stack; trailing bytes after the value are rejected. *)
 end
 
 val register_provider : string -> (unit -> Json.t) -> unit

@@ -22,6 +22,7 @@ let all =
     { name = "sched"; tests = Oracle_sched.tests };
     { name = "obs"; tests = Oracle_obs.tests };
     { name = "artifact"; tests = Oracle_artifact.tests };
+    { name = "serve"; tests = Oracle_serve.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

@@ -19,7 +19,7 @@ type outcome = {
 type suite = { name : string; tests : count:int -> QCheck.Test.t list }
 
 val all : suite list
-(** The twelve oracle layers: membership, counting, quotient-laws,
+(** The thirteen oracle layers: membership, counting, quotient-laws,
     ambiguity, maximality, order-laws, synthesis, runtime (the cached
     pipeline vs. the direct one), guard (budgeted verdicts vs.
     unbounded ones, fuel monotonicity, fault-injected batch
@@ -27,7 +27,10 @@ val all : suite list
     [List.map], matcher scratch path vs. its allocating reference),
     obs (tracing is observation only), artifact (save∘load identity,
     loaded ≡ fresh matchers, deserializer totality under truncation
-    and bit flips, cache seeding). *)
+    and bit flips, cache seeding), serve (streamed sessions vs. the
+    offline matcher at every job count, fault/budget isolation as
+    byte identity, shed-then-retry equivalence, frame-decoder
+    totality). *)
 
 val run : seed:int -> budget:int -> suite list -> outcome list
 (** [run ~seed ~budget suites] — [budget] is the total number of fuzz

@@ -134,6 +134,19 @@ let pp_stats ppf s =
   Format.fprintf ppf "  %-12s %8d  %-12s %8d@." "chunks" s.chunks
     "seq-fallbacks" s.seq_fallbacks
 
+(* Counter-wise window between two snapshots; [workers] is a gauge,
+   not a counter, so the later value is kept as-is. *)
+let delta_stats ~earlier later =
+  let d a b = max 0 (b - a) in
+  {
+    workers = later.workers;
+    batches = d earlier.batches later.batches;
+    items = d earlier.items later.items;
+    steals = d earlier.steals later.steals;
+    chunks = d earlier.chunks later.chunks;
+    seq_fallbacks = d earlier.seq_fallbacks later.seq_fallbacks;
+  }
+
 (* --- the scheduler --- *)
 
 (* Set while a domain is executing pool work: a nested [run] from

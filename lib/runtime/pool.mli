@@ -98,3 +98,10 @@ type stats = {
 val stats : unit -> stats
 val reset_stats : unit -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+val delta_stats : earlier:stats -> stats -> stats
+(** [delta_stats ~earlier later] — the counter window between two
+    snapshots, clamped at zero ([workers] is a gauge and keeps the
+    later value).  Long-lived daemons report per-window scheduler
+    traffic this way instead of {!reset_stats}, which would zero the
+    process totals under every concurrent reader. *)

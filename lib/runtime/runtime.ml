@@ -21,6 +21,23 @@ module Stats = struct
     row "minimize" t.minimize;
     row "quotient" t.quotient;
     row "decision" t.decision
+
+  (* Counter-wise [later − earlier], clamped at zero: per-window stats
+     for a long-lived daemon without resetting the process-global
+     counters (which would yank the baseline out from under every
+     other observer mid-flight). *)
+  let delta ~earlier later =
+    let d a b =
+      { hits = max 0 (b.hits - a.hits); misses = max 0 (b.misses - a.misses) }
+    in
+    {
+      intern = d earlier.intern later.intern;
+      compile = d earlier.compile later.compile;
+      determinize = d earlier.determinize later.determinize;
+      minimize = d earlier.minimize later.minimize;
+      quotient = d earlier.quotient later.quotient;
+      decision = d earlier.decision later.decision;
+    }
 end
 
 (* --- verdict cache --- *)

@@ -38,6 +38,13 @@ module Stats : sig
   }
 
   val pp : Format.formatter -> t -> unit
+
+  val delta : earlier:t -> t -> t
+  (** [delta ~earlier later] — counter-wise [later − earlier], clamped
+      at zero.  The {e serve-safe} per-window view: a daemon snapshots
+      at a window's edges and subtracts, instead of calling {!reset}
+      (all-or-nothing: it also empties the caches and zeroes every
+      other observer's baseline) mid-flight. *)
 end
 
 val stats : unit -> Stats.t

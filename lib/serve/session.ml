@@ -1,0 +1,159 @@
+type event =
+  | Split of int
+  | Budget_exhausted of Guard.reason
+  | Bad_symbol of string
+  | Faulted of string
+
+(* The fiber protocol: the matcher's input Seq performs [Await] for
+   every element; [Some a] is the next token, [None] is end-of-stream.
+   The deep handler parks the one-shot continuation in [fiber];
+   resuming runs the matcher exactly until it needs the next token
+   (emitting splits into [pending] on the way) or until it finishes. *)
+type _ Effect.t += Await : int option Effect.t
+
+type fiber =
+  | Suspended of (int option, unit) Effect.Deep.continuation
+  | Finished
+
+type t = {
+  sid : int;
+  sordinal : int;
+  alpha : Alphabet.t;
+  budget : Guard.Budget.t option;
+  mutable fiber : fiber;
+  mutable live : bool;
+  mutable tokens : int;
+  mutable splits : int;
+  mutable pending : event list; (* reversed; drained per feed *)
+}
+
+let id t = t.sid
+let ordinal t = t.sordinal
+let alive t = t.live
+let tokens_fed t = t.tokens
+let splits_emitted t = t.splits
+
+let create ~matcher ~alpha ~id ~ordinal ?fuel ?deadline_ms () =
+  let budget =
+    match (fuel, deadline_ms) with
+    | None, None -> None
+    | _ ->
+        Some
+          (Guard.Budget.make
+             ~fuel:(Option.value fuel ~default:max_int)
+             ?deadline_ms ())
+  in
+  let t =
+    {
+      sid = id;
+      sordinal = ordinal;
+      alpha;
+      budget;
+      fiber = Finished;
+      live = true;
+      tokens = 0;
+      splits = 0;
+      pending = [];
+    }
+  in
+  let rec input () =
+    match Effect.perform Await with
+    | None -> Seq.Nil
+    | Some a ->
+        (* one fuel unit per token: the serve analogue of the
+           one-unit-per-DFA-state discipline of lib/automata *)
+        Guard.charge ~stage:"stream" 1;
+        Seq.Cons (a, input)
+  in
+  let run () =
+    Seq.iter
+      (fun pos ->
+        t.splits <- t.splits + 1;
+        t.pending <- Split pos :: t.pending)
+      (Extraction.matcher_stream_splits matcher input)
+  in
+  (* Runs until the first [Await] (no input consumed yet, so no charge
+     can fire here); [Extraction.Not_online] propagates via [exnc]. *)
+  Effect.Deep.match_with run ()
+    {
+      retc = (fun () -> t.fiber <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  t.fiber <- Suspended k)
+          | _ -> None);
+    };
+  t
+
+(* Resume with the next token (or end-of-stream).  The fiber either
+   re-suspends (handler stores the new continuation), finishes (retc),
+   or lets an exception through — in which case its stack has unwound
+   and [fiber] correctly stays [Finished]. *)
+let resume t v =
+  match t.fiber with
+  | Finished -> ()
+  | Suspended k -> (
+      t.fiber <- Finished;
+      let go () = Effect.Deep.continue k v in
+      match t.budget with None -> go () | Some b -> Guard.with_budget b go)
+
+let discard_fiber t =
+  match t.fiber with
+  | Finished -> ()
+  | Suspended k -> (
+      t.fiber <- Finished;
+      (* unwind the matcher's stack; Exit comes straight back out *)
+      try Effect.Deep.discontinue k Exit with _ -> ())
+
+let kill t =
+  t.live <- false;
+  discard_fiber t
+
+let drain_pending t =
+  let evs = List.rev t.pending in
+  t.pending <- [];
+  evs
+
+(* Terminal event: the session dies, whatever was already pinned this
+   feed is kept (those splits are valid — they precede the failure
+   point in the stream). *)
+let die t ev =
+  t.live <- false;
+  discard_fiber t;
+  t.pending <- ev :: t.pending
+
+let feed t names =
+  if not t.live then []
+  else begin
+    (try
+       Guard_faults.point_indexed Guard_faults.Session_item t.sordinal;
+       let rec go = function
+         | [] -> ()
+         | name :: rest -> (
+             match Alphabet.find t.alpha name with
+             | None -> die t (Bad_symbol name)
+             | Some a ->
+                 t.tokens <- t.tokens + 1;
+                 resume t (Some a);
+                 go rest)
+       in
+       go names
+     with
+    | Guard.Exhausted r -> die t (Budget_exhausted r)
+    | e -> die t (Faulted (Printexc.to_string e)));
+    drain_pending t
+  end
+
+let finish t =
+  if not t.live then []
+  else begin
+    (try resume t None with
+    | Guard.Exhausted r -> die t (Budget_exhausted r)
+    | e -> die t (Faulted (Printexc.to_string e)));
+    t.live <- false;
+    drain_pending t
+  end

@@ -1,0 +1,81 @@
+(** One streaming extraction session: a suspended run of
+    {!Extraction.matcher_stream_splits} that is resumed one token at a
+    time.
+
+    The streaming matcher consumes an [int Seq.t]; a daemon has no
+    such sequence — tokens arrive in chunks, interleaved with other
+    sessions'.  Rather than re-implement the matcher's stepping logic,
+    a session runs the {e real} [matcher_stream_splits] inside an
+    OCaml effect fiber whose input sequence {e performs} an [Await]
+    effect per element: the fiber suspends whenever the matcher needs
+    a token it does not have, and {!feed} resumes it with the next
+    symbol.  Splits therefore pop out of the authentic one-pass
+    matcher the moment the unambiguity invariant pins them, and the
+    laziness contract of the offline API is exercised verbatim by the
+    daemon (the serve oracle layer cross-checks streamed ≡ offline).
+
+    {b Budgets.}  Each resumption runs under the session's own
+    {!Guard.Budget.t} (ambient, per-domain — installed around the
+    resume, so concurrent sessions on pool workers meter
+    independently).  The input sequence charges one fuel unit per
+    token; the budget's wall-clock deadline is measured from session
+    creation.  Exhaustion surfaces as a {!Budget_exhausted} event and
+    kills only this session.
+
+    {b Crash-only.}  Every failure — injected {!Guard_faults} probes,
+    out-of-range symbols, budget exhaustion, any escaping exception —
+    is converted into a terminal event and the fiber is discarded;
+    {!feed} and {!finish} never raise.  A dead session answers [[]]
+    forever.  Continuations are one-shot and the supervisor serializes
+    all resumptions of one session, so a fiber captured on one domain
+    may be resumed on another (the pool does exactly this). *)
+
+type t
+
+type event =
+  | Split of int  (** a pinned split position, ascending within a feed *)
+  | Budget_exhausted of Guard.reason  (** terminal *)
+  | Bad_symbol of string  (** terminal: token outside the alphabet *)
+  | Faulted of string  (** terminal: injected fault or escaped exception *)
+
+val create :
+  matcher:Extraction.matcher ->
+  alpha:Alphabet.t ->
+  id:int ->
+  ordinal:int ->
+  ?fuel:int ->
+  ?deadline_ms:int ->
+  unit ->
+  t
+(** Start the fiber (runs until the matcher first awaits input).
+    [ordinal] is the session's 0-based open ordinal — the index the
+    {!Guard_faults.Session_item} probe fires on.  Omitting both [fuel]
+    and [deadline_ms] runs unbudgeted.
+    @raise Extraction.Not_online if the matcher's right side is not
+    Σ* (the daemon checks once at startup, so reaching this from
+    [serve] is a bug). *)
+
+val id : t -> int
+val ordinal : t -> int
+
+val alive : t -> bool
+(** [false] once a terminal event was emitted or {!finish}/{!kill}
+    ran. *)
+
+val tokens_fed : t -> int
+val splits_emitted : t -> int
+
+val feed : t -> string list -> event list
+(** Resolve each symbol name and resume the fiber with it, collecting
+    events in order.  Stops at the first terminal event (remaining
+    symbols are dropped — the stream is corrupt or the session is
+    over-budget; replaying the rest would desynchronize positions).
+    Never raises.  A dead session answers [[]]. *)
+
+val finish : t -> event list
+(** Signal end-of-stream to the matcher and retire the session.
+    Never raises; idempotent. *)
+
+val kill : t -> unit
+(** Discard the fiber without end-of-stream (supervisor shutdown of a
+    poisoned session).  Never raises; idempotent. *)

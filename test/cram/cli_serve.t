@@ -1,0 +1,158 @@
+rexdex serve: a crash-only streaming daemon.  Newline-delimited JSON
+frames in, split records out the moment they pin; every failure below
+the process boundary becomes a structured error frame and the only
+exits are EOF and SIGTERM — both via graceful drain, both 0.
+
+A clean session: open, stream tokens in chunks, close.  The split at
+position 2 is emitted as soon as token 2 pins it, not at close:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' <<'EOF'
+  > {"op":"open","id":1}
+  > {"op":"tokens","id":1,"syms":["q","q","p","q"]}
+  > {"op":"tokens","id":1,"syms":["p"]}
+  > {"op":"close","id":1}
+  > EOF
+  {"ok":"opened","id":1}
+  {"split":2,"id":1}
+  {"ok":"closed","id":1,"splits":1,"tokens":5}
+
+Malformed frames — byte soup, wrong types, unknown ops, unknown
+sessions — are answered with structured errors and never disturb the
+daemon or their neighbours:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' <<'EOF'
+  > {"op":"open","id":1}
+  > not json at all
+  > {"op":"open","id":1}
+  > {"op":"nope","id":1}
+  > {"op":"tokens","id":7,"syms":["p"]}
+  > {"op":"tokens","id":1,"syms":["p"]}
+  > {"op":"close","id":1}
+  > EOF
+  {"ok":"opened","id":1}
+  {"err":"decode","reason":"bad JSON: expected null at offset 0"}
+  {"err":"proto","id":1,"reason":"session already open"}
+  {"err":"decode","reason":"unknown op \"nope\""}
+  {"err":"proto","id":7,"reason":"unknown session"}
+  {"split":0,"id":1}
+  {"ok":"closed","id":1,"splits":1,"tokens":1}
+  $ echo exit=$?
+  exit=0
+
+A session's ambient budget turns exhaustion into a frame, closes that
+session, and leaves the daemon (exit 0) and other sessions alone:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' <<'EOF'
+  > {"op":"open","id":1,"fuel":3}
+  > {"op":"open","id":2}
+  > {"op":"tokens","id":1,"syms":["q","q","q","q"]}
+  > {"op":"tokens","id":2,"syms":["q","p"]}
+  > {"op":"close","id":2}
+  > EOF
+  {"ok":"opened","id":1}
+  {"ok":"opened","id":2}
+  {"err":"budget","id":1,"stage":"stream","spent":4,"limit":3}
+  {"split":1,"id":2}
+  {"ok":"closed","id":2,"splits":1,"tokens":2}
+
+Load shedding beyond --max-sessions carries a retry hint; after the
+occupant closes, the retried open is admitted as if never shed:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' --max-sessions 1 <<'EOF'
+  > {"op":"open","id":1}
+  > {"op":"open","id":2}
+  > {"op":"close","id":1}
+  > {"op":"open","id":2}
+  > {"op":"tokens","id":2,"syms":["p"]}
+  > {"op":"close","id":2}
+  > EOF
+  {"ok":"opened","id":1}
+  {"err":"shed","id":2,"retry_after_ms":50}
+  {"ok":"closed","id":1,"splits":0,"tokens":0}
+  {"ok":"opened","id":2}
+  {"split":0,"id":2}
+  {"ok":"closed","id":2,"splits":1,"tokens":1}
+
+Poisoned-session isolation, checked as byte identity: inject a fault
+into the first-opened session and the surviving session's frames must
+not change by one byte:
+
+  $ cat > script.txt <<'EOF'
+  > {"op":"open","id":1}
+  > {"op":"open","id":2}
+  > {"op":"tokens","id":1,"syms":["q","p"]}
+  > {"op":"tokens","id":2,"syms":["q","p"]}
+  > {"op":"close","id":1}
+  > {"op":"close","id":2}
+  > EOF
+  $ rexdex serve -a p,q '([^p])* <p> .*' < script.txt > clean.out
+  $ rexdex serve -a p,q '([^p])* <p> .*' --inject-fault 0 < script.txt > faulty.out
+  $ grep -c '"err":"fault"' faulty.out
+  1
+  $ grep '"id":2' clean.out > clean2.out
+  $ grep '"id":2' faulty.out > faulty2.out
+  $ cmp clean2.out faulty2.out && echo bystander-identical
+  bystander-identical
+
+Streaming needs a Σ*-right expression; anything else is refused at
+startup with a structured reason, before any input is read:
+
+  $ rexdex serve -a p,q '([^p])* <p> q' </dev/null
+  error: not_online: [^p]* <p> q — streaming needs a Σ*-right expression (run 'rexdex maximize' first)
+  [2]
+
+A compiled artifact replaces -a and the expression:
+
+  $ rexdex compile -a p,q '([^p])* <p> .*' -o online.rxc > /dev/null
+  $ rexdex serve --load online.rxc <<'EOF'
+  > {"op":"open","id":1}
+  > {"op":"tokens","id":1,"syms":["q","p"]}
+  > {"op":"close","id":1}
+  > EOF
+  {"ok":"opened","id":1}
+  {"split":1,"id":1}
+  {"ok":"closed","id":1,"splits":1,"tokens":2}
+
+EOF with sessions still open takes the drain path: in-flight sessions
+are finished and closed in open order, exit 0:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' <<'EOF'
+  > {"op":"open","id":4}
+  > {"op":"open","id":9}
+  > {"op":"tokens","id":9,"syms":["p"]}
+  > EOF
+  {"ok":"opened","id":4}
+  {"ok":"opened","id":9}
+  {"split":0,"id":9}
+  {"ok":"closed","id":4,"splits":0,"tokens":0}
+  {"ok":"closed","id":9,"splits":1,"tokens":1}
+  $ echo exit=$?
+  exit=0
+
+SIGTERM is the other graceful exit: the daemon drains its in-flight
+sessions and exits 0 — crash-only means the clean path and the kill
+path are the same path:
+
+  $ mkfifo in.fifo
+  $ rexdex serve -a p,q '([^p])* <p> .*' < in.fifo > term.out 2> term.err &
+  $ pid=$!
+  $ exec 9> in.fifo
+  $ printf '{"op":"open","id":1}\n{"op":"tokens","id":1,"syms":["q","p"]}\n' >&9
+  $ i=0; while ! grep -q split term.out 2>/dev/null && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+  $ kill -TERM $pid
+  $ wait $pid && echo drained-exit-0
+  drained-exit-0
+  $ exec 9>&-
+  $ cat term.out
+  {"ok":"opened","id":1}
+  {"split":1,"id":1}
+  {"ok":"closed","id":1,"splits":1,"tokens":2}
+
+The --stats report is a per-run window built from snapshot deltas
+(the daemon never resets process-global metrics):
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' --stats < script.txt > /dev/null 2> stats.err
+  $ grep -c "serve stats:" stats.err
+  1
+  $ grep "opened" stats.err | head -1 | tr -s ' ' | cut -d' ' -f2,3
+  opened 2

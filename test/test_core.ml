@@ -512,10 +512,15 @@ let test_stream_splits () =
     streamed
 
 let test_stream_requires_sigma_star () =
-  let m = Extraction.compile (ex "q* <p> q") in
+  let e = ex "q* <p> q" in
+  let m = Extraction.compile e in
   check_bool "not online" false (Extraction.matcher_online m);
   match Extraction.matcher_stream_splits m (List.to_seq [ 0 ]) with
-  | exception Invalid_argument _ -> ()
+  | exception Extraction.Not_online { expr } ->
+      (* structured, not a bare Invalid_argument: the daemon and the
+         CLI report err=not_online from this payload *)
+      Alcotest.(check string)
+        "carries the rendered expression" (Extraction.to_string e) expr
   | (_ : int Seq.t) -> Alcotest.fail "must reject non-Sigma* right sides"
 
 let test_stream_edge_cases () =
@@ -560,6 +565,53 @@ let test_stream_is_lazy () =
   | Seq.Cons (i, _) -> Alcotest.(check int) "first split" 1 i
   | Seq.Nil -> Alcotest.fail "expected a split");
   check_bool "did not consume unboundedly" true (!forced < 100)
+
+let test_stream_pulls_each_token_once () =
+  (* the serve sessions hand the matcher a one-shot effect-backed
+     stream, so re-pulling any element would deadlock a session: count
+     every pull and insist on exactly one per token *)
+  let m = Extraction.compile (ex "([^p])* <p> .*") in
+  let word = w ab_pq "q q p q p" in
+  let pulls = Array.make (Array.length word) 0 in
+  let counted =
+    Seq.mapi
+      (fun i a ->
+        pulls.(i) <- pulls.(i) + 1;
+        a)
+      (Array.to_seq word)
+  in
+  let streamed = List.of_seq (Extraction.matcher_stream_splits m counted) in
+  Alcotest.(check (list int))
+    "splits" (Extraction.matcher_splits m word) streamed;
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "token %d pulls" i) 1 n)
+    pulls
+
+let test_stream_every_truncation () =
+  (* end-of-stream can land anywhere (a serve client may vanish
+     mid-session): every prefix must still equal the offline answer *)
+  let m = Extraction.compile (ex "([^p])* <p> .*") in
+  let word = w ab_pq "p q p q p" in
+  for k = 0 to Array.length word do
+    let prefix = Array.sub word 0 k in
+    Alcotest.(check (list int))
+      (Printf.sprintf "prefix of length %d" k)
+      (Extraction.matcher_splits m prefix)
+      (List.of_seq (Extraction.matcher_stream_splits m (Array.to_seq prefix)))
+  done
+
+let test_stream_bad_symbol_is_lazy () =
+  (* splits pinned before an out-of-range symbol must still be
+     delivered; the raise happens at the offending element, not
+     eagerly *)
+  let m = Extraction.compile (ex "([^p])* <p> .*") in
+  let s = Extraction.matcher_stream_splits m (List.to_seq [ p; 99 ]) in
+  match s () with
+  | Seq.Cons (0, rest) -> (
+      match rest () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad symbol must raise when reached")
+  | _ -> Alcotest.fail "expected the pinned split before the bad symbol"
 
 let () =
   Alcotest.run "core"
@@ -647,5 +699,11 @@ let () =
           Alcotest.test_case "symbol out of range" `Quick
             test_stream_symbol_out_of_range;
           Alcotest.test_case "laziness" `Quick test_stream_is_lazy;
+          Alcotest.test_case "each token pulled exactly once" `Quick
+            test_stream_pulls_each_token_once;
+          Alcotest.test_case "every truncation = offline prefix" `Quick
+            test_stream_every_truncation;
+          Alcotest.test_case "bad symbol raises lazily" `Quick
+            test_stream_bad_symbol_is_lazy;
         ] );
     ]

@@ -66,6 +66,30 @@ let prop_artifact_roundtrip =
       | Error _ -> false
       | Ok b -> Artifact.equal a b)
 
+let prop_frame_decode_total =
+  qtest ~count:500 "Frame.decode rejects byte soup gracefully"
+    Oracle_soup.arb_bytes
+    (fun s -> match Frame.decode s with Ok _ | Error _ -> true)
+
+(* Same discipline as the artifact loader: every truncation of a valid
+   frame is a structured rejection — a client dying mid-line can never
+   kill the daemon. *)
+let test_frame_decode_truncations () =
+  let valid = {|{"op":"tokens","id":12,"syms":["p","q","p"]}|} in
+  (match Frame.decode valid with
+  | Ok (Frame.Tokens { id = 12; syms = [ "p"; "q"; "p" ] }) -> ()
+  | Ok _ -> Alcotest.fail "decoded to the wrong frame"
+  | Error e -> Alcotest.failf "valid frame rejected: %s" e);
+  for k = 0 to String.length valid - 1 do
+    match Frame.decode (String.sub valid 0 k) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d byte(s) decoded" k
+  done;
+  (* the size cap is a structured rejection too, checked before parse *)
+  match Frame.decode ~max_bytes:8 valid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
 (* Deep nesting must not blow the stack at realistic depths. *)
 let test_deep_nesting () =
   let depth = 20_000 in
@@ -137,6 +161,9 @@ let () =
           prop_wrapper_io_total;
           prop_artifact_total;
           prop_artifact_roundtrip;
+          prop_frame_decode_total;
+          Alcotest.test_case "Frame.decode truncation prefixes" `Quick
+            test_frame_decode_truncations;
         ] );
       ( "pathological-inputs",
         [
