@@ -391,9 +391,11 @@ module Histogram = struct
     }
 
   (* Upper bound of the bucket holding the q-th percentile observation
-     (0 < q <= 1), in ns; the open-ended top bucket answers [max_ns].
-     Coarse by construction (log2 buckets) but monotone and total —
-     an empty snapshot answers 0. *)
+     (0 < q <= 1), in ns; the open-ended top bucket answers [max_ns],
+     and so does a rank landing on the final observation (q = 1.0 in
+     particular) — the maximum is tracked exactly, so it is the
+     tighter bound.  Coarse by construction (log2 buckets) but
+     monotone and total — an empty snapshot answers 0. *)
   let percentile_ns (s : snapshot) q =
     if s.count <= 0 then 0
     else begin
@@ -401,18 +403,20 @@ module Histogram = struct
         let r = int_of_float (ceil (q *. float_of_int s.count)) in
         if r < 1 then 1 else if r > s.count then s.count else r
       in
-      let rec go i seen =
-        if i >= n_buckets then s.max_ns
-        else
-          let seen = seen + s.buckets.(i) in
-          if seen >= rank then
-            if i = n_buckets - 1 then s.max_ns
-            else
-              (* bucket i covers [2^i, 2^(i+1)) µs (bucket 0: [0,2)) *)
-              (1 lsl (i + 1)) * 1000
-          else go (i + 1) seen
-      in
-      go 0 0
+      if rank = s.count then s.max_ns
+      else
+        let rec go i seen =
+          if i >= n_buckets then s.max_ns
+          else
+            let seen = seen + s.buckets.(i) in
+            if seen >= rank then
+              if i = n_buckets - 1 then s.max_ns
+              else
+                (* bucket i covers [2^i, 2^(i+1)) µs (bucket 0: [0,2)) *)
+                (1 lsl (i + 1)) * 1000
+            else go (i + 1) seen
+        in
+        go 0 0
     end
 
   let reset (t : t) =

@@ -105,8 +105,10 @@ module Histogram : sig
 
   val percentile_ns : snapshot -> float -> int
   (** [percentile_ns s q] — an upper bound (the covering bucket's
-      edge) for the [q]-th percentile observation, [0 < q <= 1]; the
-      open-ended top bucket and [q = 1.0] answer [max_ns], an empty
+      edge) for the [q]-th percentile observation, [0 < q <= 1].  The
+      open-ended top bucket answers [max_ns], as does any rank landing
+      on the final observation ([q = 1.0] in particular — the maximum
+      is tracked exactly, so it is the tighter bound); an empty
       snapshot answers [0].  Coarse (log2 buckets) but monotone —
       what the E17 p99 frame-latency gate reads. *)
 

@@ -25,21 +25,46 @@ let install_signal_handlers () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
-(* Incremental line splitter over raw reads: carries the unterminated
-   tail between chunks.  Returns the complete lines of [data] given
-   the carried [partial], and the new carry. *)
-let split_lines partial data =
-  let buf = partial ^ data in
-  let n = String.length buf in
+(* Incremental line splitter over raw reads: the unterminated tail is
+   carried in a buffer between chunks, capped at [limit + 1] bytes.
+   Past the cap the rest of the line is discarded, so an adversarial
+   client streaming a newline-free byte river cannot grow daemon
+   memory; the truncated line still exceeds [limit], so [Frame.decode]
+   answers its structured oversized-frame error once the line (or the
+   input) finally ends. *)
+type splitter = { carry : Buffer.t; limit : int }
+
+let splitter limit = { carry = Buffer.create 4096; limit }
+
+let splitter_add sp data start len =
+  let keep = min len (sp.limit + 1 - Buffer.length sp.carry) in
+  if keep > 0 then Buffer.add_substring sp.carry data start keep
+
+let splitter_take sp =
+  let line = Buffer.contents sp.carry in
+  Buffer.clear sp.carry;
+  line
+
+(* Complete lines of [data] given the carried tail; the new tail stays
+   in the splitter. *)
+let split_lines sp data =
+  let n = String.length data in
   let rec go start acc =
-    match String.index_from_opt buf start '\n' with
-    | Some i -> go (i + 1) (String.sub buf start (i - start) :: acc)
-    | None -> (List.rev acc, String.sub buf start (n - start))
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+        splitter_add sp data start (i - start);
+        go (i + 1) (splitter_take sp :: acc)
+    | None ->
+        splitter_add sp data start (n - start);
+        List.rev acc
   in
   go 0 []
 
-(* A write failure means the reader is gone: stop accepting work and
-   head for the drain — crash-only, the process itself survives. *)
+(* A write failure means this reader is gone: answer [false] so the
+   caller stops feeding the connection and heads for the drain.  The
+   process-global [stop_requested] stays signal-only — in socket mode
+   the daemon outlives any one client, and a mid-write EPIPE must not
+   keep the next connection from being accepted. *)
 let emit oc frames =
   try
     List.iter
@@ -47,14 +72,16 @@ let emit oc frames =
         output_string oc (Frame.encode f);
         output_char oc '\n')
       frames;
-    flush oc
-  with Sys_error _ -> Atomic.set stop_requested true
+    flush oc;
+    true
+  with Sys_error _ -> false
 
 (* Feed [lines] to the supervisor in batches of at most [batch_max],
-   emitting after each batch so a long burst still streams answers. *)
+   emitting after each batch so a long burst still streams answers.
+   Answers [false] as soon as a write fails. *)
 let process cfg sup oc lines =
   let rec go = function
-    | [] -> ()
+    | [] -> true
     | lines ->
         let rec take k acc = function
           | rest when k = 0 -> (List.rev acc, rest)
@@ -62,8 +89,7 @@ let process cfg sup oc lines =
           | l :: rest -> take (k - 1) (l :: acc) rest
         in
         let batch, rest = take cfg.batch_max [] lines in
-        emit oc (Supervisor.handle_batch sup batch);
-        go rest
+        if emit oc (Supervisor.handle_batch sup batch) then go rest else false
   in
   (* skip blank lines: convenient for hand-driven sessions, and a
      trailing newline at EOF is not a frame *)
@@ -74,7 +100,7 @@ let process cfg sup oc lines =
    mode, the connection for socket mode). *)
 let serve_fd cfg sup fd oc =
   let chunk = Bytes.create 65536 in
-  let partial = ref "" in
+  let sp = splitter Frame.default_max_bytes in
   let rec loop () =
     if Atomic.get stop_requested then ()
     else
@@ -84,22 +110,18 @@ let serve_fd cfg sup fd oc =
           (* a reset connection is an EOF with attitude: drain *)
           ()
       | 0 ->
-          (* EOF: an unterminated final line still counts as a frame *)
-          if !partial <> "" then begin
-            process cfg sup oc [ !partial ];
-            partial := ""
-          end
+          (* genuine EOF is the one place an unterminated final line
+             still counts as a frame; the stop/read-error/writer-gone
+             exits drop their mid-line tail instead of misparsing a
+             truncated prefix *)
+          if Buffer.length sp.carry > 0 then
+            ignore (process cfg sup oc [ splitter_take sp ])
       | n ->
-          let lines, rest =
-            split_lines !partial (Bytes.sub_string chunk 0 n)
-          in
-          partial := rest;
-          process cfg sup oc lines;
-          loop ()
+          let lines = split_lines sp (Bytes.sub_string chunk 0 n) in
+          if process cfg sup oc lines then loop ()
   in
   loop ();
-  if !partial <> "" then process cfg sup oc [ !partial ];
-  emit oc (Supervisor.drain sup)
+  ignore (emit oc (Supervisor.drain sup))
 
 let print_exit_stats ~rt0 ~pool0 =
   Format.eprintf "%a" Supervisor.pp_stats (Supervisor.stats ());

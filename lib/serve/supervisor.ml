@@ -145,7 +145,10 @@ let frames_of_events ~id evs =
           Frame.Err_budget
             { id; stage = r.Guard.stage; spent = r.spent; limit = r.limit }
       | Session.Bad_symbol name ->
-          Atomic.incr faulted_c;
+          (* counted with the protocol errors so the counters match
+             the err=proto frames a client can tally; [faulted] stays
+             in lockstep with err=fault *)
+          Atomic.incr proto_err_c;
           Frame.Err_proto { id; reason = Printf.sprintf "unknown symbol %S" name }
       | Session.Faulted reason ->
           Atomic.incr faulted_c;

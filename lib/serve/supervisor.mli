@@ -87,11 +87,13 @@ type stats = {
   closed : int;  (** clean closes: [close] frames and drains *)
   shed : int;
   refused : int;
-  faulted : int;  (** injected faults, bad symbols, escaped exceptions *)
+  faulted : int;
+      (** [err=fault] frames: injected faults and escaped exceptions *)
   budget_exhausted : int;
   frames : int;  (** incoming lines seen (including malformed) *)
   decode_errors : int;
   proto_errors : int;
+      (** [err=proto] frames: protocol misuse and bad symbols *)
 }
 
 val stats : unit -> stats

@@ -39,6 +39,21 @@ daemon or their neighbours:
   $ echo exit=$?
   exit=0
 
+An oversized line — here 2 MiB without a newline — is answered with a
+single structured decode error: the carried partial line is capped at
+the frame-size limit (the rest is discarded until the next newline),
+so an adversarial byte river cannot grow daemon memory, and the
+neighbouring frames are untouched:
+
+  $ { printf '{"op":"open","id":1}\n'
+  >   head -c 2097152 /dev/zero | tr '\0' 'x'
+  >   printf '\n{"op":"tokens","id":1,"syms":["p"]}\n{"op":"close","id":1}\n'
+  > } | rexdex serve -a p,q '([^p])* <p> .*'
+  {"ok":"opened","id":1}
+  {"err":"decode","reason":"oversized frame: 1048577 bytes exceeds the 1048576-byte cap"}
+  {"split":0,"id":1}
+  {"ok":"closed","id":1,"splits":1,"tokens":1}
+
 A session's ambient budget turns exhaustion into a frame, closes that
 session, and leaves the daemon (exit 0) and other sessions alone:
 
@@ -147,6 +162,33 @@ path are the same path:
   {"ok":"opened","id":1}
   {"split":1,"id":1}
   {"ok":"closed","id":1,"splits":1,"tokens":2}
+
+Socket mode outlives its clients: a client vanishing without reading
+its answers (EPIPE on the daemon's writes) only ends that connection —
+the next client is accepted with a fresh session table, and SIGTERM
+still takes the graceful exit:
+
+  $ rexdex serve -a p,q '([^p])* <p> .*' --socket serve.sock > sock.out 2>&1 &
+  $ pid=$!
+  $ i=0; while [ ! -S serve.sock ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+  $ python3 - <<'EOF'
+  > import socket
+  > c1 = socket.socket(socket.AF_UNIX); c1.connect('serve.sock')
+  > c1.sendall(b'{"op":"open","id":1}\n')
+  > c1.close()
+  > c2 = socket.socket(socket.AF_UNIX); c2.connect('serve.sock')
+  > c2.sendall(b'{"op":"open","id":2}\n'
+  >            b'{"op":"tokens","id":2,"syms":["p"]}\n'
+  >            b'{"op":"close","id":2}\n')
+  > c2.shutdown(socket.SHUT_WR)
+  > print(c2.makefile().read(), end='')
+  > EOF
+  {"ok":"opened","id":2}
+  {"split":0,"id":2}
+  {"ok":"closed","id":2,"splits":1,"tokens":1}
+  $ kill -TERM $pid
+  $ wait $pid && echo drained-exit-0
+  drained-exit-0
 
 The --stats report is a per-run window built from snapshot deltas
 (the daemon never resets process-global metrics):

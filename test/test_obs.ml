@@ -199,7 +199,15 @@ let test_histogram_observe () =
   check_int "bucket 0" 2 s.Obs.Histogram.buckets.(0);
   check_int "bucket 2" 2 s.Obs.Histogram.buckets.(2);
   check_int "bucket sum = count" s.Obs.Histogram.count
-    (Array.fold_left ( + ) 0 s.Obs.Histogram.buckets)
+    (Array.fold_left ( + ) 0 s.Obs.Histogram.buckets);
+  (* mid-rank percentiles answer the covering bucket's upper edge;
+     a rank landing on the final observation (q = 1.0 in particular)
+     answers the exactly-tracked maximum instead *)
+  check_int "p50 = covering bucket edge" 2_000
+    (Obs.Histogram.percentile_ns s 0.5);
+  check_int "p99 rank = count: exact max" 5_000
+    (Obs.Histogram.percentile_ns s 0.99);
+  check_int "p100 = max_ns" 5_000 (Obs.Histogram.percentile_ns s 1.0)
 
 (* --- disabled path --- *)
 

@@ -160,6 +160,21 @@ let test_sup_malformed_lines_are_isolated () =
     (Supervisor.handle_batch s
        [ open_line 1; "not a frame"; tokens_line 1 [ "p" ]; close_line 1 ])
 
+let test_sup_bad_symbol_counts_proto () =
+  (* the wire answers a bad symbol with err=proto, so it must count
+     with the protocol errors: a client tallying err=proto frames and
+     the stats provider agree, and [faulted] stays err=fault only *)
+  let before = Supervisor.stats () in
+  let s = mk () in
+  ignore (Supervisor.handle_batch s [ open_line 1; tokens_line 1 [ "zz" ] ]);
+  let after = Supervisor.stats () in
+  Alcotest.(check int)
+    "proto errors" 1
+    (after.Supervisor.proto_errors - before.Supervisor.proto_errors);
+  Alcotest.(check int)
+    "faulted untouched" 0
+    (after.Supervisor.faulted - before.Supervisor.faulted)
+
 let test_sup_counters_move () =
   let before = Supervisor.stats () in
   let s = mk () in
@@ -219,6 +234,8 @@ let () =
             test_sup_drain_finishes_in_open_order;
           Alcotest.test_case "malformed lines are isolated" `Quick
             test_sup_malformed_lines_are_isolated;
+          Alcotest.test_case "bad symbol counts as a proto error" `Quick
+            test_sup_bad_symbol_counts_proto;
           Alcotest.test_case "counters move" `Quick test_sup_counters_move;
         ] );
       ( "snapshot-deltas",
