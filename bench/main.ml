@@ -1178,11 +1178,147 @@ let e17 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E18: fused page front-end vs the materializing pipeline ----- *)
+
+let e18 () =
+  banner "E18" "fused zero-copy front-end vs lex→tree→word pipeline";
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let alpha = Wrapper.alphabet_for [ top; bottom ] in
+  let abs = Abstraction.Tags in
+  (* corpus: generated catalog pages, half of them perturbed — the
+     resilience workload the wrapper is meant to survive *)
+  let htmls =
+    List.init 40 (fun i ->
+        let rng = Random.State.make [| 0xe18; i |] in
+        let doc = Pagegen.generate rng (Pagegen.random_profile rng) in
+        let doc =
+          if i mod 2 = 1 then Perturb.perturb rng ~intensity:2 doc else doc
+        in
+        Html_tree.to_string doc)
+  in
+  let n_pages = List.length htmls in
+  let n_bytes = List.fold_left (fun a s -> a + String.length s) 0 htmls in
+  let m_on = Extraction.compile (Extraction.parse alpha "([^INPUT])* <INPUT> .*") in
+  let m_off =
+    Extraction.compile
+      (Extraction.parse alpha "([^INPUT])* <INPUT> ([^FORM])* /FORM .*")
+  in
+  let tbl = Front.build ~abs alpha in
+  let tree_extract m html =
+    let doc = Html_tree.parse html in
+    match Tag_seq.of_doc_indexed ~abs alpha doc with
+    | exception Tag_seq.Unknown_symbol t -> Error t
+    | word, origins -> (
+        match Extraction.matcher_extract m word with
+        | `No_match -> Error "no-match"
+        | `Ambiguous _ -> Error "ambiguous"
+        | `Unique i -> (
+            match origins.(i) with
+            | Tag_seq.Open_of p | Tag_seq.Close_of p -> Ok p))
+  in
+  let fused_extract m html =
+    match Front.extract tbl m html with
+    | Ok p -> Ok p
+    | Error Front.No_match -> Error "no-match"
+    | Error (Front.Ambiguous _) -> Error "ambiguous"
+    | Error (Front.Unknown_symbol t) -> Error t
+  in
+  let minor_per_page f =
+    (* allocation, not time: one full pass over the corpus *)
+    let w0 = Gc.minor_words () in
+    List.iter (fun h -> ignore (Sys.opaque_identity (f h))) htmls;
+    (Gc.minor_words () -. w0) /. float_of_int n_pages
+  in
+  let comp = Extraction.matcher_compressed m_on in
+  let n_alpha = Alphabet.size alpha in
+  Printf.printf "alphabet %d symbols → %d matcher classes (online expr)\n"
+    n_alpha comp.Extraction.n_classes;
+  Printf.printf "| matcher | tree ms | fused ms | speedup | tree pg/s | fused pg/s | tree minW/pg | fused minW/pg | identical |\n";
+  Printf.printf "|---|---|---|---|---|---|---|---|---|\n";
+  let row name m =
+    let tree_ms =
+      time_ms ~reps:5 (fun () ->
+          List.iter (fun h -> ignore (Sys.opaque_identity (tree_extract m h))) htmls)
+    in
+    let fused_ms =
+      time_ms ~reps:5 (fun () ->
+          List.iter (fun h -> ignore (Sys.opaque_identity (fused_extract m h))) htmls)
+    in
+    let identical =
+      List.for_all (fun h -> tree_extract m h = fused_extract m h) htmls
+    in
+    let tree_minor = minor_per_page (tree_extract m) in
+    let fused_minor = minor_per_page (fused_extract m) in
+    let speedup = tree_ms /. fused_ms in
+    Printf.printf
+      "| %-7s | %7.3f | %8.3f | %7.2f | %9.0f | %10.0f | %12.0f | %13.0f | %b |\n"
+      name tree_ms fused_ms speedup
+      (float_of_int n_pages /. (tree_ms /. 1000.0))
+      (float_of_int n_pages /. (fused_ms /. 1000.0))
+      tree_minor fused_minor identical;
+    (tree_ms, fused_ms, speedup, tree_minor, fused_minor, identical)
+  in
+  let on = row "online" m_on in
+  let off = row "offline" m_off in
+  (* batch fan-out: the raw path must answer the tree path's cells at
+     every job count *)
+  let w =
+    match Wrapper.learn ~alpha [ (top, Option.get (Pagegen.target_path top));
+                                 (bottom, Option.get (Pagegen.target_path bottom)) ]
+    with
+    | Ok w -> w
+    | Error _ -> failwith "E18: learning failed"
+  in
+  let tree_batch = Wrapper.extract_batch ~jobs:1 w (List.map Html_tree.parse htmls) in
+  let jobs_identical =
+    List.for_all
+      (fun jobs -> Wrapper.extract_raw_batch ~jobs w htmls = tree_batch)
+      [ 1; 2; 4 ]
+  in
+  Printf.printf "batch fan-out identical at jobs 1/2/4: %b\n" jobs_identical;
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_FRONT_JSON") ~default:"BENCH_front.json"
+  in
+  let json_row name (tree_ms, fused_ms, speedup, tree_minor, fused_minor, id) =
+    Printf.sprintf
+      "  \"%s\": {\n\
+      \    \"tree_ms\": %.3f,\n\
+      \    \"fused_ms\": %.3f,\n\
+      \    \"speedup\": %.2f,\n\
+      \    \"tree_pages_per_s\": %.0f,\n\
+      \    \"fused_pages_per_s\": %.0f,\n\
+      \    \"tree_minor_words_per_page\": %.0f,\n\
+      \    \"fused_minor_words_per_page\": %.0f,\n\
+      \    \"identical\": %b\n\
+      \  }"
+      name tree_ms fused_ms speedup
+      (float_of_int n_pages /. (tree_ms /. 1000.0))
+      (float_of_int n_pages /. (fused_ms /. 1000.0))
+      tree_minor fused_minor id
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E18\",\n\
+    \  \"pages\": %d,\n\
+    \  \"bytes\": %d,\n\
+    \  \"alpha_symbols\": %d,\n\
+    \  \"matcher_classes\": %d,\n\
+     %s,\n\
+     %s,\n\
+    \  \"jobs_identical\": %b\n\
+     }\n"
+    n_pages n_bytes n_alpha comp.Extraction.n_classes (json_row "online" on)
+    (json_row "offline" off) jobs_identical;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17) ]
+    ("E17", e17); ("E18", e18) ]
 
 let () =
   let requested =

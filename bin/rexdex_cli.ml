@@ -514,8 +514,17 @@ let batch_cmd =
     in
     Arg.(value & opt string "auto" & info [ "chunk" ] ~docv:"auto|N" ~doc)
   in
+  let fused_arg =
+    let doc =
+      "Extract through the fused page front-end: raw HTML bytes are lexed, \
+       interned, and matched in one pass with no intermediate parse tree \
+       (zero-copy streaming).  Output is identical to the default \
+       tree-building path."
+    in
+    Arg.(value & flag & info [ "fused" ] ~doc)
+  in
   let run wrapper_file load pages jobs cache_size stats fuel deadline_ms
-      retries inject chunk trace metrics =
+      retries inject chunk fused trace metrics =
     handle_errors @@ fun () ->
     obs_setup trace metrics;
     let chunk =
@@ -556,9 +565,14 @@ let batch_cmd =
           | Ok w -> w)
     in
     let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
-    let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
     let results =
-      Wrapper.extract_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w docs
+      if fused then
+        let raw = List.map read_file pages in
+        Wrapper.extract_raw_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w
+          raw
+      else
+        let docs = List.map (fun f -> Html_tree.parse (read_file f)) pages in
+        Wrapper.extract_batch ~jobs ~chunk ?fuel ?deadline_ms ~retries w docs
     in
     let failures = ref 0 and unknowns = ref 0 in
     List.iter2
@@ -575,7 +589,8 @@ let batch_cmd =
       pages results;
     if stats then begin
       Format.eprintf "%a" Runtime.Stats.pp (Runtime.stats ());
-      Format.eprintf "%a" Pool.pp_stats (Pool.stats ())
+      Format.eprintf "%a" Pool.pp_stats (Pool.stats ());
+      if fused then Format.eprintf "%a" Front.pp_stats (Front.stats ())
     end;
     if !unknowns > 0 then exit exit_unknown;
     if !failures > 0 then exit 1
@@ -589,8 +604,8 @@ let batch_cmd =
       const run $ wrapper_arg
       $ load_arg ~instead_of:"a 'learn --save' wrapper file"
       $ pages_arg $ jobs_arg $ cache_size_arg $ stats_arg $ fuel_arg
-      $ deadline_arg $ retries_arg $ inject_fault_arg $ chunk_arg $ trace_arg
-      $ metrics_arg)
+      $ deadline_arg $ retries_arg $ inject_fault_arg $ chunk_arg $ fused_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- serve --- *)
 

@@ -78,12 +78,77 @@ let language t =
   Lang.concat_list t.alpha
     [ left_lang t; Lang.sym t.alpha t.mark; right_lang t ]
 
+(* --- alphabet equivalence-class compression ---
+
+   Two symbols with identical delta columns in BOTH the left DFA and
+   the reversed-right DFA drive every run through the same state
+   trajectories, so the matcher cannot distinguish them: they share one
+   class.  HTML alphabets with dozens of tags typically collapse to the
+   handful of classes the expression actually separates, shrinking
+   delta rows for the fused front-end's hot loop.  The mark is forced
+   into a singleton class (its signature carries a distinguishing flag)
+   so that "class = c_mark" remains an exact test for "symbol = mark". *)
+
+type compressed = {
+  class_of : int array;
+  n_classes : int;
+  c_mark : int;
+  c_left : Dfa.t;
+  c_right_rev : Dfa.t;
+}
+
+let compress expr ~left_dfa ~right_rev_dfa =
+  let k = left_dfa.Dfa.alpha_size in
+  let column (d : Dfa.t) a =
+    List.init d.Dfa.size (fun q -> d.Dfa.delta.((q * k) + a))
+  in
+  let tbl = Hashtbl.create 16 in
+  let class_of = Array.make k 0 in
+  let rev_reprs = ref [] in
+  let n = ref 0 in
+  for a = 0 to k - 1 do
+    let key = (a = expr.mark, column left_dfa a, column right_rev_dfa a) in
+    match Hashtbl.find_opt tbl key with
+    | Some c -> class_of.(a) <- c
+    | None ->
+        let c = !n in
+        incr n;
+        Hashtbl.add tbl key c;
+        class_of.(a) <- c;
+        rev_reprs := a :: !rev_reprs
+  done;
+  let reprs = Array.of_list (List.rev !rev_reprs) in
+  let nc = !n in
+  (* The shrunken DFAs inherit the validate invariants: every delta
+     target is copied from a validated table, finals/size/start are
+     unchanged, and the row width is exactly n_classes — so unsafe_step
+     stays licensed on them. *)
+  let shrink (d : Dfa.t) =
+    {
+      Dfa.alpha_size = nc;
+      size = d.Dfa.size;
+      start = d.Dfa.start;
+      finals = Array.copy d.Dfa.finals;
+      delta =
+        Array.init (d.Dfa.size * nc) (fun i ->
+            d.Dfa.delta.(((i / nc) * k) + reprs.(i mod nc)));
+    }
+  in
+  {
+    class_of;
+    n_classes = nc;
+    c_mark = class_of.(expr.mark);
+    c_left = shrink left_dfa;
+    c_right_rev = shrink right_rev_dfa;
+  }
+
 type matcher = {
   expr : t;
   left_dfa : Dfa.t;
   (* DFA of the reversed right language: running it over the suffix read
      right-to-left decides suffix ∈ L(E2). *)
   right_rev_dfa : Dfa.t;
+  comp : compressed;
 }
 
 let compile expr =
@@ -96,7 +161,7 @@ let compile expr =
      the hot path below. *)
   Dfa.validate left_dfa;
   Dfa.validate right_rev_dfa;
-  { expr; left_dfa; right_rev_dfa }
+  { expr; left_dfa; right_rev_dfa; comp = compress expr ~left_dfa ~right_rev_dfa }
 
 (* Checksum-licensed constructor: the .rxc artifact loader decodes its
    DFAs under the same structural checks Dfa.validate performs (delta
@@ -111,9 +176,10 @@ let matcher_of_validated expr ~left_dfa ~right_rev_dfa =
     left_dfa.Dfa.alpha_size <> expect_alpha
     || right_rev_dfa.Dfa.alpha_size <> expect_alpha
   then invalid_arg "Extraction.matcher_of_validated: alphabet size mismatch";
-  { expr; left_dfa; right_rev_dfa }
+  { expr; left_dfa; right_rev_dfa; comp = compress expr ~left_dfa ~right_rev_dfa }
 
 let matcher_expr m = m.expr
+let matcher_compressed m = m.comp
 
 (* Per-domain scratch for the suffix_ok bitset: one Bytes buffer per
    domain, grown geometrically and reused across calls, so the hot
@@ -166,6 +232,38 @@ let matcher_splits m w =
   let lstate = ref ld.Dfa.start in
   for i = 0 to n - 1 do
     let a = Array.unsafe_get w i in
+    if a = mark && Array.unsafe_get ld.Dfa.finals !lstate
+       && bit_read suffix_ok (i + 1)
+    then acc := i :: !acc;
+    lstate := Dfa.unsafe_step ld !lstate a
+  done;
+  List.rev !acc
+
+(* Same two sweeps in class space: the word is a sequence of class ids
+   (from comp.class_of), stepped on the shrunken tables.  Soundness:
+   symbols of one class have identical columns in both DFAs, so the
+   state trajectories — and hence the split set — equal the symbol-space
+   run's (the front oracle layer checks this per symbol and per word). *)
+let matcher_splits_classes m cw =
+  let n = Array.length cw in
+  let c = m.comp in
+  let mark = c.c_mark in
+  let rd = c.c_right_rev and ld = c.c_left in
+  let alpha = rd.Dfa.alpha_size in
+  let suffix_ok = get_scratch (n + 1) in
+  let state = ref rd.Dfa.start in
+  bit_write suffix_ok n (Array.unsafe_get rd.Dfa.finals !state);
+  for i = n - 1 downto 0 do
+    let a = Array.unsafe_get cw i in
+    if a < 0 || a >= alpha then
+      invalid_arg "Extraction.matcher_splits_classes: class out of range";
+    state := Dfa.unsafe_step rd !state a;
+    bit_write suffix_ok i (Array.unsafe_get rd.Dfa.finals !state)
+  done;
+  let acc = ref [] in
+  let lstate = ref ld.Dfa.start in
+  for i = 0 to n - 1 do
+    let a = Array.unsafe_get cw i in
     if a = mark && Array.unsafe_get ld.Dfa.finals !lstate
        && bit_read suffix_ok (i + 1)
     then acc := i :: !acc;

@@ -83,6 +83,40 @@ val matcher_of_validated :
 
 val matcher_expr : matcher -> t
 
+(** {2 Alphabet class compression}
+
+    Symbols with identical transition columns in {e both} the left DFA
+    and the reversed-right DFA are indistinguishable to the matcher:
+    they drive every run through the same state trajectories.  Each
+    matcher therefore carries a quotiented form whose delta rows are
+    indexed by {e class} ids — HTML alphabets with dozens of tags
+    typically collapse to the handful of classes the expression
+    separates.  The mark's signature is tagged so it always lands in a
+    singleton class: [class = c_mark ⟺ symbol = mark], keeping the hot
+    loops' mark test exact.  Computed eagerly by both {!compile} and
+    {!matcher_of_validated} (so [.rxc]-loaded matchers get it without
+    any wire-format change). *)
+
+type compressed = {
+  class_of : int array;  (** symbol id → class id *)
+  n_classes : int;
+  c_mark : int;  (** the mark's class — a singleton by construction *)
+  c_left : Dfa.t;  (** left DFA over classes ([alpha_size = n_classes]) *)
+  c_right_rev : Dfa.t;
+}
+
+val matcher_compressed : matcher -> compressed
+(** The class-compressed tables.  Immutable, like the matcher; the
+    shrunken DFAs satisfy the {!Dfa.validate} invariants (their rows
+    are copied from validated tables), so {!Dfa.unsafe_step} over
+    bound-checked class ids remains sound. *)
+
+val matcher_splits_classes : matcher -> int array -> int list
+(** {!matcher_splits} in class space: the input word holds {e class}
+    ids (images under [class_of]), stepped on the compressed tables.
+    Same split positions as the symbol-space run.
+    @raise Invalid_argument on a class id out of range. *)
+
 val matcher_splits : matcher -> Word.t -> int list
 (** All split positions, ascending.  Hot path: the suffix bitset lives
     in per-domain scratch reused across calls (grown geometrically), so

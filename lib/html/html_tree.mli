@@ -32,6 +32,11 @@ val to_string : ?indent:bool -> doc -> string
 
 val is_void : string -> bool
 
+val void_names : string list
+(** The upper-case void-element names {!is_void} recognizes — exposed
+    so the fused front-end ([Front]) precomputes voidness per interned
+    entry instead of re-deciding per tag. *)
+
 (** {1 Paths and traversal}
 
     A {e path} addresses a node as the list of child indices from the

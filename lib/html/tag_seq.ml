@@ -1,5 +1,13 @@
 type origin = Open_of of Html_tree.path | Close_of of Html_tree.path
 
+exception Unknown_symbol of string
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_symbol name ->
+        Some (Printf.sprintf "Tag_seq.Unknown_symbol(%S): tag not in alphabet" name)
+    | _ -> None)
+
 module SS = Set.Make (String)
 
 let doc_symbols abs doc =
@@ -30,7 +38,7 @@ let emit_doc abs alpha doc =
   let code name =
     match Alphabet.find alpha name with
     | Some c -> c
-    | None -> invalid_arg ("Tag_seq: tag not in alphabet: " ^ name)
+    | None -> raise (Unknown_symbol name)
   in
   let rec go rev_path i nodes =
     match nodes with

@@ -14,6 +14,14 @@ type origin =
   | Open_of of Html_tree.path  (** token is the start tag of this node *)
   | Close_of of Html_tree.path
 
+exception Unknown_symbol of string
+(** A document emitted a symbol the alphabet does not contain.  The
+    payload is the full symbol name (which may itself contain [:] or
+    [=] under refined abstractions — no string parsing needed, unlike
+    the [Invalid_argument] message this replaced).  Raised by
+    {!of_doc}/{!of_doc_indexed} and by the fused front-end
+    ([Front]), so both paths report unknown tags identically. *)
+
 val tag_names : ?abs:Abstraction.t -> Html_tree.doc -> string list
 (** Symbol names occurring in a document (sorted, distinct; includes
     refined start symbols and [/T] close symbols). *)
@@ -22,12 +30,13 @@ val alphabet_of_docs : ?abs:Abstraction.t -> Html_tree.doc list -> Alphabet.t
 (** Alphabet covering every symbol the given documents emit. *)
 
 val of_doc : ?abs:Abstraction.t -> Alphabet.t -> Html_tree.doc -> Word.t
-(** The tag sequence.  @raise Invalid_argument if the document emits a
+(** The tag sequence.  @raise Unknown_symbol if the document emits a
     symbol missing from the alphabet. *)
 
 val of_doc_indexed :
   ?abs:Abstraction.t -> Alphabet.t -> Html_tree.doc -> Word.t * origin array
-(** Tag sequence plus, for each position, the node it came from. *)
+(** Tag sequence plus, for each position, the node it came from.
+    @raise Unknown_symbol like {!of_doc}. *)
 
 val mark_of_path :
   ?abs:Abstraction.t ->

@@ -437,8 +437,9 @@ module Span = struct
     | Cache_build
     | Verdict
     | Batch_run
+    | Front
 
-  let n_stages = 7
+  let n_stages = 8
 
   let stage_id = function
     | Determinize -> 0
@@ -448,9 +449,19 @@ module Span = struct
     | Cache_build -> 4
     | Verdict -> 5
     | Batch_run -> 6
+    | Front -> 7
 
   let all_stages =
-    [ Determinize; Minimize; Product; Quotient; Cache_build; Verdict; Batch_run ]
+    [
+      Determinize;
+      Minimize;
+      Product;
+      Quotient;
+      Cache_build;
+      Verdict;
+      Batch_run;
+      Front;
+    ]
 
   let stage_name = function
     | Determinize -> "determinize"
@@ -460,6 +471,7 @@ module Span = struct
     | Cache_build -> "cache-build"
     | Verdict -> "verdict"
     | Batch_run -> "batch"
+    | Front -> "front"
 
   type t = int
 

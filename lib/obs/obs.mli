@@ -122,7 +122,8 @@ module Span : sig
       (Lemma 5.9 universality tests run on products), [Quotient]
       (Lemma 5.2 / Def 5.1 constructions), [Cache_build] (a memo miss
       computing its value), [Verdict] (a Thm 5.6 / Cor 5.8 decision),
-      [Batch_run] (a pool fan-out). *)
+      [Batch_run] (a pool fan-out), [Front] (a fused raw-HTML →
+      symbol-id → path pass over a page). *)
   type stage =
     | Determinize
     | Minimize
@@ -131,6 +132,7 @@ module Span : sig
     | Cache_build
     | Verdict
     | Batch_run
+    | Front
 
   val stage_name : stage -> string
 

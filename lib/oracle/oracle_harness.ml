@@ -23,6 +23,7 @@ let all =
     { name = "obs"; tests = Oracle_obs.tests };
     { name = "artifact"; tests = Oracle_artifact.tests };
     { name = "serve"; tests = Oracle_serve.tests };
+    { name = "front"; tests = Oracle_front.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

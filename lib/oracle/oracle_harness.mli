@@ -19,7 +19,7 @@ type outcome = {
 type suite = { name : string; tests : count:int -> QCheck.Test.t list }
 
 val all : suite list
-(** The thirteen oracle layers: membership, counting, quotient-laws,
+(** The fourteen oracle layers: membership, counting, quotient-laws,
     ambiguity, maximality, order-laws, synthesis, runtime (the cached
     pipeline vs. the direct one), guard (budgeted verdicts vs.
     unbounded ones, fuel monotonicity, fault-injected batch
@@ -30,7 +30,9 @@ val all : suite list
     and bit flips, cache seeding), serve (streamed sessions vs. the
     offline matcher at every job count, fault/budget isolation as
     byte identity, shed-then-retry equivalence, frame-decoder
-    totality). *)
+    totality), front (the fused zero-copy page pass vs. the
+    materializing lex → tree → tag-sequence pipeline, chunk-boundary
+    invariance, class-compression soundness). *)
 
 val run : seed:int -> budget:int -> suite list -> outcome list
 (** [run ~seed ~budget suites] — [budget] is the total number of fuzz

@@ -1,6 +1,7 @@
 type incoming =
   | Open of { id : int; fuel : int option; deadline_ms : int option }
   | Tokens of { id : int; syms : string list }
+  | Page of { id : int; html : string }
   | Close of { id : int }
 
 type outgoing =
@@ -25,6 +26,12 @@ let field_int j name =
   | Obs.Json.Int i -> Ok i
   | Obs.Json.Null -> Error (Printf.sprintf "missing %S field" name)
   | _ -> Error (Printf.sprintf "%S must be an integer" name)
+
+let field_str j name =
+  match Obs.Json.member name j with
+  | Obs.Json.Str s -> Ok s
+  | Obs.Json.Null -> Error (Printf.sprintf "missing %S field" name)
+  | _ -> Error (Printf.sprintf "%S must be a string" name)
 
 let field_int_opt j name =
   match Obs.Json.member name j with
@@ -71,6 +78,10 @@ let decode ?(max_bytes = default_max_bytes) line =
               | _ -> Error "missing \"syms\" list"
             in
             Ok (Tokens { id; syms })
+        | Obs.Json.Str "page" ->
+            let* id = session_id j in
+            let* html = field_str j "html" in
+            Ok (Page { id; html })
         | Obs.Json.Str "close" ->
             let* id = session_id j in
             Ok (Close { id })

@@ -12,6 +12,7 @@
       {"op":"open","id":7,"fuel":500,
        "deadline_ms":2000}                       … with a budget override
       {"op":"tokens","id":7,"syms":["q","p"]}    feed a token chunk
+      {"op":"page","id":7,"html":"<p>…"}         feed raw HTML bytes
       {"op":"close","id":7}                      end of session input
     v}
 
@@ -44,6 +45,11 @@ type incoming =
   | Tokens of { id : int; syms : string list }
       (** symbol {e names}; resolution against the daemon's alphabet
           happens in the session, so decoding stays alphabet-free *)
+  | Page of { id : int; html : string }
+      (** a chunk of raw HTML bytes, fed through the session's fused
+          front-end ({!Front.stream_feed}); chunks may split the page
+          at any byte boundary.  [page] and [tokens] frames may not be
+          mixed within one session *)
   | Close of { id : int }
 
 type outgoing =

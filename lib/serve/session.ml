@@ -19,11 +19,18 @@ type t = {
   sid : int;
   sordinal : int;
   alpha : Alphabet.t;
+  front : Front.table option;
+      (* shared fused-front-end token table (supervisor builds one per
+         daemon); [None] falls back to a per-session build on the
+         first [page] frame *)
   budget : Guard.Budget.t option;
   mutable fiber : fiber;
   mutable live : bool;
   mutable tokens : int;
   mutable splits : int;
+  mutable f_stream : Front.stream option;
+      (* incremental page front-end, created on the first [page] frame
+         so token-only sessions never allocate one *)
   mutable pending : event list; (* reversed; drained per feed *)
 }
 
@@ -33,7 +40,7 @@ let alive t = t.live
 let tokens_fed t = t.tokens
 let splits_emitted t = t.splits
 
-let create ~matcher ~alpha ~id ~ordinal ?fuel ?deadline_ms () =
+let create ~matcher ~alpha ~id ~ordinal ?front ?fuel ?deadline_ms () =
   let budget =
     match (fuel, deadline_ms) with
     | None, None -> None
@@ -48,11 +55,13 @@ let create ~matcher ~alpha ~id ~ordinal ?fuel ?deadline_ms () =
       sid = id;
       sordinal = ordinal;
       alpha;
+      front;
       budget;
       fiber = Finished;
       live = true;
       tokens = 0;
       splits = 0;
+      f_stream = None;
       pending = [];
     }
   in
@@ -148,10 +157,58 @@ let feed t names =
     drain_pending t
   end
 
+(* The session's incremental front-end, created on first use.  Tokens
+   emitted by the stream go through the exact [feed] path: count, then
+   resume — so a [page] session is indistinguishable from a [tokens]
+   session to the matcher fiber. *)
+let stream_of t =
+  match t.f_stream with
+  | Some st -> st
+  | None ->
+      let tbl =
+        match t.front with Some tbl -> tbl | None -> Front.build t.alpha
+      in
+      let st = Front.stream_make tbl in
+      t.f_stream <- Some st;
+      st
+
+let feed_page t html =
+  if not t.live then []
+  else begin
+    (try
+       Guard_faults.point_indexed Guard_faults.Session_item t.sordinal;
+       match
+         Front.stream_feed (stream_of t) html ~emit:(fun a ->
+             t.tokens <- t.tokens + 1;
+             resume t (Some a))
+       with
+       | Ok () -> ()
+       | Error name -> die t (Bad_symbol name)
+     with
+    | Guard.Exhausted r -> die t (Budget_exhausted r)
+    | e -> die t (Faulted (Printexc.to_string e)));
+    drain_pending t
+  end
+
 let finish t =
   if not t.live then []
   else begin
-    (try resume t None with
+    (try
+       (match t.f_stream with
+       | None -> ()
+       | Some st -> (
+           (* flush the page front-end first: carried bytes and still
+              open elements emit their final symbols before the matcher
+              sees end-of-stream *)
+           match
+             Front.stream_finish st ~emit:(fun a ->
+                 t.tokens <- t.tokens + 1;
+                 resume t (Some a))
+           with
+           | Ok () -> ()
+           | Error name -> die t (Bad_symbol name)));
+       if t.live then resume t None
+     with
     | Guard.Exhausted r -> die t (Budget_exhausted r)
     | e -> die t (Faulted (Printexc.to_string e)));
     t.live <- false;

@@ -43,14 +43,18 @@ val create :
   alpha:Alphabet.t ->
   id:int ->
   ordinal:int ->
+  ?front:Front.table ->
   ?fuel:int ->
   ?deadline_ms:int ->
   unit ->
   t
 (** Start the fiber (runs until the matcher first awaits input).
     [ordinal] is the session's 0-based open ordinal — the index the
-    {!Guard_faults.Session_item} probe fires on.  Omitting both [fuel]
-    and [deadline_ms] runs unbudgeted.
+    {!Guard_faults.Session_item} probe fires on.  [front] is the fused
+    front-end's token table used by {!feed_page}; the supervisor
+    builds one per daemon so sessions share it (omitting it falls back
+    to a per-session build on the first page chunk).  Omitting both
+    [fuel] and [deadline_ms] runs unbudgeted.
     @raise Extraction.Not_online if the matcher's right side is not
     Σ* (the daemon checks once at startup, so reaching this from
     [serve] is a bug). *)
@@ -72,9 +76,23 @@ val feed : t -> string list -> event list
     over-budget; replaying the rest would desynchronize positions).
     Never raises.  A dead session answers [[]]. *)
 
+val feed_page : t -> string -> event list
+(** Feed a chunk of raw HTML bytes through the session's incremental
+    fused front-end ({!Front.stream_feed}); each symbol the page
+    resolves to resumes the fiber exactly as {!feed} would, so page
+    sessions and token sessions are indistinguishable to the matcher.
+    Chunks may split the page at any byte boundary.  A tag outside the
+    alphabet is a terminal {!Bad_symbol} (the same error a [tokens]
+    client would get for that name).  Never raises.  Mixing
+    {!feed_page} and {!feed} in one session is a client error: symbol
+    positions interleave in arrival order, which is meaningless.  A
+    dead session answers [[]]. *)
+
 val finish : t -> event list
-(** Signal end-of-stream to the matcher and retire the session.
-    Never raises; idempotent. *)
+(** Signal end-of-stream: flush the page front-end if the session
+    streamed raw HTML (carried bytes and implicitly closed elements
+    emit their final symbols), then signal the matcher and retire the
+    session.  Never raises; idempotent. *)
 
 val kill : t -> unit
 (** Discard the fiber without end-of-stream (supervisor shutdown of a

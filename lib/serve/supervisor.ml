@@ -99,6 +99,9 @@ let () =
 
 type t = {
   cfg : config;
+  front : Front.table;
+      (* one fused front-end token table per daemon, shared read-only
+         by every session that streams raw HTML ([page] frames) *)
   sessions : (int, Session.t) Hashtbl.t;
   mutable next_ordinal : int;
   mutable is_draining : bool;
@@ -114,6 +117,7 @@ let create cfg =
          { expr = Extraction.to_string (Extraction.matcher_expr cfg.matcher) });
   {
     cfg;
+    front = Front.build cfg.alpha;
     sessions = Hashtbl.create 64;
     next_ordinal = 0;
     is_draining = false;
@@ -130,7 +134,7 @@ type slot =
   | Done of Frame.outgoing list
   | Advance of { session : Session.t; work : work }
 
-and work = W_feed of string list | W_close
+and work = W_feed of string list | W_page of string | W_close
 
 (* Events → outgoing frames for one slot of one session.  [None]
    events means the session was already dead when the slot ran
@@ -203,7 +207,7 @@ let handle_batch t lines =
               t.next_ordinal <- ordinal + 1;
               let s =
                 Session.create ~matcher:t.cfg.matcher ~alpha:t.cfg.alpha ~id
-                  ~ordinal
+                  ~ordinal ~front:t.front
                   ?fuel:
                     (match fuel with Some _ -> fuel | None -> t.cfg.fuel)
                   ?deadline_ms:
@@ -222,6 +226,12 @@ let handle_batch t lines =
                 Atomic.incr proto_err_c;
                 Done [ Frame.Err_proto { id; reason = "unknown session" } ]
             | Some s -> Advance { session = s; work = W_feed syms })
+        | Ok (Frame.Page { id; html }) -> (
+            match Hashtbl.find_opt t.sessions id with
+            | None ->
+                Atomic.incr proto_err_c;
+                Done [ Frame.Err_proto { id; reason = "unknown session" } ]
+            | Some s -> Advance { session = s; work = W_page html })
         | Ok (Frame.Close { id }) -> (
             match Hashtbl.find_opt t.sessions id with
             | None ->
@@ -272,6 +282,15 @@ let handle_batch t lines =
         | W_feed syms ->
             if was_alive then
               results.(i) <- frames_of_events ~id (Session.feed session syms)
+            else begin
+              Atomic.incr proto_err_c;
+              results.(i) <-
+                [ Frame.Err_proto { id; reason = "session is gone" } ]
+            end
+        | W_page html ->
+            if was_alive then
+              results.(i) <-
+                frames_of_events ~id (Session.feed_page session html)
             else begin
               Atomic.incr proto_err_c;
               results.(i) <-

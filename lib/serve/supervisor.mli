@@ -21,6 +21,12 @@
       matcher and every session's events depend only on its own
       token stream.
 
+    {b Raw pages.}  A session may stream raw HTML instead of symbol
+    names ([page] frames): the daemon builds one fused front-end token
+    table ({!Front.table}) at startup and every page session feeds its
+    chunks through {!Session.feed_page}, so tokenization, interning,
+    and matching happen in one pass with no per-page tree or word.
+
     {b Scheduling.}  A batch is processed in three deterministic
     passes: (1) sequential admission — decode, open/close/shed/refuse
     decisions in arrival order against a projected session table;

@@ -120,24 +120,23 @@ type compiled = {
   c_alpha : Alphabet.t;
   c_abs : Abstraction.t;
   c_matcher : Extraction.matcher;
+  c_front : Front.table Lazy.t;
+      (* the fused front-end's token table; lazy so tree-path-only
+         callers never pay for it, forced once before any parallel
+         fan-out so domains share the frozen table *)
 }
 
-let compile t = { c_alpha = t.alpha; c_abs = t.abs; c_matcher = t.matcher }
+let compile t =
+  {
+    c_alpha = t.alpha;
+    c_abs = t.abs;
+    c_matcher = t.matcher;
+    c_front = lazy (Front.build ~abs:t.abs t.alpha);
+  }
 
 let extract_compiled c doc =
   match Tag_seq.of_doc_indexed ~abs:c.c_abs c.c_alpha doc with
-  | exception Invalid_argument msg ->
-      (* "Tag_seq: tag not in alphabet: X" — X may itself contain ':'
-         under refined abstractions, so split on the known prefix. *)
-      let prefix = "Tag_seq: tag not in alphabet: " in
-      let tag =
-        if String.length msg > String.length prefix
-           && String.sub msg 0 (String.length prefix) = prefix
-        then String.sub msg (String.length prefix)
-               (String.length msg - String.length prefix)
-        else msg
-      in
-      Error (Unknown_tag tag)
+  | exception Tag_seq.Unknown_symbol tag -> Error (Unknown_tag tag)
   | word, origins -> (
       match Extraction.matcher_extract c.c_matcher word with
       | `No_match -> Error No_match
@@ -147,6 +146,16 @@ let extract_compiled c doc =
           | Tag_seq.Open_of path | Tag_seq.Close_of path -> Ok path))
 
 let extract t doc = extract_compiled (compile t) doc
+
+(* Fused path: raw bytes straight to the winning path, no tree, no
+   word, no origin array.  The [front] oracle layer holds this against
+   [extract_compiled] on the parsed tree. *)
+let extract_raw c html =
+  match Front.extract (Lazy.force c.c_front) c.c_matcher html with
+  | Ok path -> Ok path
+  | Error Front.No_match -> Error No_match
+  | Error (Front.Ambiguous l) -> Error (Ambiguous_on_page l)
+  | Error (Front.Unknown_symbol tag) -> Error (Unknown_tag tag)
 
 (* --- .rxc artifacts: ship the compiled form, start warm --- *)
 
@@ -198,3 +207,28 @@ let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t docs =
   List.map
     (function Ok r -> r | Error msg -> Error (Worker_error msg))
     (Batch.map_isolated ?jobs ~cost:Html_tree.count_nodes ?chunk step docs)
+
+let extract_raw_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t pages =
+  let c = compile t in
+  (* force the token table on the submitting domain: workers must
+     share one frozen table, not race to build their own *)
+  ignore (Lazy.force c.c_front);
+  let step =
+    match (fuel, deadline_ms) with
+    | None, None -> extract_raw c
+    | _ ->
+        let fuel = Option.value fuel ~default:max_int in
+        let steps = Guard.escalation_steps ~fuel ~retries in
+        fun html ->
+          (match
+             Guard.with_escalation ~steps ?deadline_ms (fun () ->
+                 extract_raw c html)
+           with
+          | Guard.Decided r -> r
+          | Guard.Unknown reason -> Error (Exhausted_budget reason))
+  in
+  (* byte length is the raw-page analogue of the node-count weight: the
+     fused pass is linear in the input bytes *)
+  List.map
+    (function Ok r -> r | Error msg -> Error (Worker_error msg))
+    (Batch.map_isolated ?jobs ~cost:String.length ?chunk step pages)

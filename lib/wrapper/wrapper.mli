@@ -65,13 +65,22 @@ val extract_pos : t -> Word.t -> (int, extract_error) result
     domains. *)
 
 type compiled
-(** Immutable: the alphabet, the abstraction, and the matcher DFAs. *)
+(** Immutable: the alphabet, the abstraction, the matcher DFAs, and
+    (lazily) the fused front-end's token table ({!Front.table}). *)
 
 val compile : t -> compiled
 
 val extract_compiled :
   compiled -> Html_tree.doc -> (Html_tree.path, extract_error) result
 (** Same contract as {!extract}. *)
+
+val extract_raw : compiled -> string -> (Html_tree.path, extract_error) result
+(** The fused path: raw HTML bytes → interned ids → class-space
+    matching → winning node's path, in one pass with no intermediate
+    tree, word, or origin array ({!Front.extract}).  Answers are
+    byte-identical to parsing the page and calling {!extract_compiled}
+    — including which [Unknown_tag] is reported — which the [front]
+    oracle layer checks differentially. *)
 
 (** {1 Artifacts}
 
@@ -121,3 +130,19 @@ val extract_batch :
     grouped into break-even work units and giant pages stay singleton
     units; [chunk] overrides the planner ({!Pool.chunking}, default
     [Auto]).  Like [jobs], it never changes the result list. *)
+
+val extract_raw_batch :
+  ?jobs:int ->
+  ?chunk:Pool.chunking ->
+  ?fuel:int ->
+  ?deadline_ms:int ->
+  ?retries:int ->
+  t ->
+  string list ->
+  (Html_tree.path, extract_error) result list
+(** {!extract_batch} over raw HTML strings via the fused path
+    ({!extract_raw}): same isolation, budgeting, and order guarantees,
+    with byte length as the chunk planner's cost proxy (the fused pass
+    is linear in input bytes, Lemma 5.2's analogue).  The front-end
+    token table is forced before the fan-out so all domains share one
+    frozen table. *)

@@ -100,3 +100,27 @@ at every parallelism level:
   sample1.html: target at 2.1
   sample2.html: worker error: Guard_faults.Injected(batch-item, hit 1)
   v1.html: target at 2.1
+
+The fused page front-end (--fused) skips the parse tree entirely —
+raw bytes are lexed, interned, and matched in one pass — and its
+output is byte-identical to the tree-building path at every
+parallelism level:
+
+  $ rexdex batch -w w.rexdex --fused --jobs 1 sample1.html sample2.html v1.html v2.html v3.html > f1.txt
+  $ rexdex batch -w w.rexdex --fused --jobs 4 sample1.html sample2.html v1.html v2.html v3.html > f4.txt
+  $ cmp f1.txt f4.txt && cmp f1.txt j1.txt && echo fused-identical
+  fused-identical
+  $ rexdex batch -w w.rexdex --fused --jobs 2 sample1.html empty.html
+  sample1.html: target at 2.1
+  empty.html: no match on page
+  [1]
+
+--stats on a fused run adds the front-end's own counters (pages,
+interner traffic, and the symbol-alphabet → class-table compression):
+
+  $ rexdex batch -w w.rexdex --fused --stats sample1.html 2> fstats.txt
+  sample1.html: target at 2.1
+  $ grep -q "front stats" fstats.txt && echo has-front-stats
+  has-front-stats
+  $ grep -q "classes" fstats.txt && echo has-class-count
+  has-class-count

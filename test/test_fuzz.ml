@@ -66,6 +66,80 @@ let prop_artifact_roundtrip =
       | Error _ -> false
       | Ok b -> Artifact.equal a b)
 
+(* --- fused page front-end: total on any bytes, chunking-invariant ---
+
+   The fused pass replicates the lexer+builder state machine byte for
+   byte, so it inherits their totality obligation: arbitrary soup may
+   answer structured errors (unknown symbol, no match) but must never
+   raise or hang, wherever the chunk boundaries fall. *)
+
+let front_fixture =
+  lazy
+    (let top = Pagegen.figure1_top () in
+     let bottom = Pagegen.figure1_bottom () in
+     let alpha = Wrapper.alphabet_for [ top; bottom ] in
+     let pt = Option.get (Pagegen.target_path top) in
+     let pb = Option.get (Pagegen.target_path bottom) in
+     match Wrapper.learn ~alpha [ (top, pt); (bottom, pb) ] with
+     | Ok w -> (Wrapper.compile w, Front.build alpha)
+     | Error _ -> failwith "front_fixture: learning failed")
+
+let prop_front_extract_total =
+  qtest ~count:500 "fused extract rejects byte soup gracefully"
+    Oracle_soup.arb_bytes
+    (fun s ->
+      let c, _ = Lazy.force front_fixture in
+      match Wrapper.extract_raw c s with Ok _ | Error _ -> true)
+
+let prop_front_extract_total_htmlish =
+  qtest ~count:500 "fused extract survives tag-soup" Oracle_soup.arb_htmlish
+    (fun s ->
+      let c, _ = Lazy.force front_fixture in
+      match Wrapper.extract_raw c s with Ok _ | Error _ -> true)
+
+let prop_front_word_total =
+  qtest ~count:500 "Front.word raises only Unknown_symbol"
+    Oracle_soup.arb_bytes
+    (fun s ->
+      let _, tbl = Lazy.force front_fixture in
+      match Front.word tbl s with
+      | _ -> true
+      | exception Tag_seq.Unknown_symbol _ -> true)
+
+let prop_front_stream_chunks =
+  qtest ~count:300 "fused stream: chunk boundaries never change the answer"
+    (QCheck.pair Oracle_soup.arb_htmlish QCheck.small_nat)
+    (fun (s, k) ->
+      let _, tbl = Lazy.force front_fixture in
+      let oneshot =
+        match Front.word tbl s with
+        | w -> Ok (Array.to_list w)
+        | exception Tag_seq.Unknown_symbol t -> Error t
+      in
+      let cut = k mod (String.length s + 1) in
+      let acc = ref [] in
+      let emit a = acc := a :: !acc in
+      let st = Front.stream_make tbl in
+      let chunked =
+        match Front.stream_feed st (String.sub s 0 cut) ~emit with
+        | Error t -> Error t
+        | Ok () -> (
+            match
+              Front.stream_feed st
+                (String.sub s cut (String.length s - cut))
+                ~emit
+            with
+            | Error t -> Error t
+            | Ok () -> (
+                match Front.stream_finish st ~emit with
+                | Error t -> Error t
+                | Ok () -> Ok (List.rev !acc)))
+      in
+      match (oneshot, chunked) with
+      | Ok w, Ok w' -> w = w'
+      | Error a, Error b -> a = b
+      | _ -> false)
+
 let prop_frame_decode_total =
   qtest ~count:500 "Frame.decode rejects byte soup gracefully"
     Oracle_soup.arb_bytes
@@ -161,6 +235,10 @@ let () =
           prop_wrapper_io_total;
           prop_artifact_total;
           prop_artifact_roundtrip;
+          prop_front_extract_total;
+          prop_front_extract_total_htmlish;
+          prop_front_word_total;
+          prop_front_stream_chunks;
           prop_frame_decode_total;
           Alcotest.test_case "Frame.decode truncation prefixes" `Quick
             test_frame_decode_truncations;

@@ -292,6 +292,112 @@ let prop_serializer_roundtrip =
       let d2 = Html_tree.parse (Html_tree.to_string d1) in
       Html_tree.equal d1 d2)
 
+(* --- fused front-end (Front) ---
+
+   Deterministic spot checks of the fused pass against the
+   materializing pipeline on the lexer/builder edge cases the property
+   suites might only graze: entity decoding inside attribute values,
+   raw-text elements with extended close names, implied end tags,
+   self-closing syntax, comment/doctype shapes, and junk. *)
+
+let front_word ~abs alpha s =
+  match Front.word (Front.build ~abs alpha) s with
+  | w -> Ok (Word.to_string alpha w)
+  | exception Tag_seq.Unknown_symbol t -> Error t
+
+let tree_word ~abs alpha s =
+  match Tag_seq.of_doc ~abs alpha (Html_tree.parse s) with
+  | w -> Ok (Word.to_string alpha w)
+  | exception Tag_seq.Unknown_symbol t -> Error t
+
+let tricky_pages =
+  [
+    "<p>one<p>two<div>three</div>";
+    "<ul><li>a<li>b<li>c</ul>";
+    "<table><tr><td>a<td>b<tr><td>c</table>";
+    "<form><input type=\"text\"><br/><input></form>";
+    "<div/>text<br>";
+    "<script>if (a < b) { document.write(\"</div>\"); }</script><p>after";
+    "<script>x</scriptfoo><p>tail";
+    "<style>p > a { color: red }</style><b>x</b>";
+    "<!-- <p>not a tag</p> --><div>real</div>";
+    "<!-- unterminated comment <p>";
+    "<!doctype html><p>x</p>";
+    "<p>a &lt; b &amp;&amp; c &gt; d &quot;q&quot; &#65;</p>";
+    "<p>&#32;&#32;</p><div>x</div>";
+    "<p>&bogus; &#xyz; &toolongtobeanentity; text</p>";
+    "<p>a < b</p>";
+    "<div></ div><p>x</p>";
+    "<div></div junk junk><p>x</p>";
+    "<a href=\"x>y\">link</a>";
+    "<input type = \"radio\" checked><select><option>a<option>b</select>";
+    "<DIV><P>UPPER</P></DIV><dIv>mixed</DiV>";
+  ]
+
+let test_front_tricky_pages () =
+  List.iter
+    (fun abs ->
+      List.iter
+        (fun s ->
+          let alpha = Tag_seq.alphabet_of_docs ~abs [ Html_tree.parse s ] in
+          Alcotest.(check (result string string))
+            s (tree_word ~abs alpha s) (front_word ~abs alpha s))
+        tricky_pages)
+    [ Abstraction.Tags; Abstraction.Tags_with_attrs [ ("INPUT", "type") ] ]
+
+let test_front_figure1 () =
+  List.iter
+    (fun doc ->
+      let s = Html_tree.to_string doc in
+      let abs = Abstraction.Tags in
+      let alpha = Tag_seq.alphabet_of_docs ~abs [ doc ] in
+      Alcotest.(check (result string string))
+        "figure1 fused ≡ tree" (tree_word ~abs alpha s)
+        (front_word ~abs alpha s))
+    [ Pagegen.figure1_top (); Pagegen.figure1_bottom () ]
+
+let test_front_chunking_every_cut () =
+  let s =
+    "<div><p>a &amp; b<script>\"</div>\"</script><table><tr><td>x<td>y</table></div>"
+  in
+  let abs = Abstraction.Tags in
+  let alpha = Tag_seq.alphabet_of_docs ~abs [ Html_tree.parse s ] in
+  let tbl = Front.build ~abs alpha in
+  let oneshot = Array.to_list (Front.word tbl s) in
+  for cut = 0 to String.length s do
+    let acc = ref [] in
+    let emit a = acc := a :: !acc in
+    let st = Front.stream_make tbl in
+    (match Front.stream_feed st (String.sub s 0 cut) ~emit with
+    | Ok () -> ()
+    | Error t -> Alcotest.failf "chunk 1 at %d: unknown %s" cut t);
+    (match
+       Front.stream_feed st (String.sub s cut (String.length s - cut)) ~emit
+     with
+    | Ok () -> ()
+    | Error t -> Alcotest.failf "chunk 2 at %d: unknown %s" cut t);
+    (match Front.stream_finish st ~emit with
+    | Ok () -> ()
+    | Error t -> Alcotest.failf "finish at %d: unknown %s" cut t);
+    Alcotest.(check (list int))
+      (Printf.sprintf "cut at %d" cut)
+      oneshot (List.rev !acc)
+  done
+
+let test_front_unknown_symbol () =
+  (* an alphabet that misses TABLE: both paths must name TABLE, not
+     whatever follows it *)
+  let alpha = Alphabet.make [ "DIV"; "/DIV"; "P"; "/P" ] in
+  let s = "<div><p>x</p><table><tr><td>y</table></div>" in
+  let abs = Abstraction.Tags in
+  Alcotest.(check (result string string))
+    "same unknown symbol" (Error "TABLE")
+    (front_word ~abs alpha s);
+  Alcotest.(check (result string string))
+    "tree agrees"
+    (tree_word ~abs alpha s)
+    (front_word ~abs alpha s)
+
 let () =
   Alcotest.run "html"
     [
@@ -329,5 +435,15 @@ let () =
             test_abstraction_symbols;
           Alcotest.test_case "refined tag sequences" `Quick
             test_tag_seq_refined;
+        ] );
+      ( "front",
+        [
+          Alcotest.test_case "tricky pages, both abstractions" `Quick
+            test_front_tricky_pages;
+          Alcotest.test_case "figure 1 pages" `Quick test_front_figure1;
+          Alcotest.test_case "chunked ≡ one-shot at every cut" `Quick
+            test_front_chunking_every_cut;
+          Alcotest.test_case "unknown-symbol identity" `Quick
+            test_front_unknown_symbol;
         ] );
     ]

@@ -224,7 +224,9 @@ let test_null_sink_allocations () =
   for _ = 1 to iters do
     let sp = Obs.Span.enter Obs.Span.Verdict in
     Obs.Metric.charge ~stage:"determinize" ~budgeted:false 1;
-    Obs.Span.exit sp
+    Obs.Span.exit sp;
+    (* the fused front-end's span must ride the same free path *)
+    Obs.Span.exit (Obs.Span.enter Obs.Span.Front)
   done;
   let per_call = (Gc.minor_words () -. w0) /. float_of_int iters in
   check_bool
@@ -342,7 +344,7 @@ let test_metrics_json_schema () =
     (Obs.Json.get_int (Obs.Json.path [ "cache"; "decision"; "misses" ] j));
   match Obs.Json.member "spans" j with
   | Obs.Json.List rows ->
-      check_int "one row per span stage" 7 (List.length rows);
+      check_int "one row per span stage" 8 (List.length rows);
       check_bool "verdict spans were recorded" true
         (List.exists
            (fun r ->

@@ -95,6 +95,84 @@ let test_session_injected_fault () =
   Alcotest.(check bool) "victim dead" false (Session.alive s3);
   Alcotest.(check bool) "bystander alive" true (Session.alive s0)
 
+(* --- page sessions: raw HTML through the fused front-end --- *)
+
+let alpha_h = Alphabet.make [ "DIV"; "/DIV"; "P"; "/P"; "INPUT" ]
+let e_h = Extraction.parse alpha_h "([^INPUT])* <INPUT> .*"
+let m_h = Extraction.compile e_h
+
+let mk_h ?(jobs = 1) () =
+  Supervisor.create
+    {
+      Supervisor.matcher = m_h;
+      alpha = alpha_h;
+      jobs;
+      max_sessions = 64;
+      fuel = None;
+      deadline_ms = None;
+      retry_after_ms = 7;
+    }
+
+let page_line id html =
+  let open Obs.Json in
+  line [ ("op", Str "page"); ("id", Int id); ("html", Str html) ]
+
+let test_session_page_stream () =
+  let s = Session.create ~matcher:m_h ~alpha:alpha_h ~id:1 ~ordinal:0 () in
+  (* the chunk boundary splits the </p> tag in half *)
+  Alcotest.(check bool)
+    "first chunk quiet" true
+    (Session.feed_page s "<div><p>x</p" = []);
+  (match Session.feed_page s "><input>" with
+  | [ Session.Split 3 ] -> ()
+  | _ -> Alcotest.fail "expected the split to pin at 3");
+  (* finish flushes the builder's implicit </div> before end-of-stream *)
+  Alcotest.(check bool) "finish quiet" true (Session.finish s = []);
+  Alcotest.(check int) "tokens incl. flushed close" 5 (Session.tokens_fed s);
+  Alcotest.(check int) "splits" 1 (Session.splits_emitted s)
+
+let test_sup_page_equals_tokens () =
+  (* a page session and a token session over the same symbol stream
+     answer byte-identical frames *)
+  let out_page =
+    Supervisor.handle_batch (mk_h ())
+      [
+        open_line 1;
+        page_line 1 "<div><p>x";
+        page_line 1 "</p><input></div>";
+        close_line 1;
+      ]
+  in
+  let out_tok =
+    Supervisor.handle_batch (mk_h ())
+      [
+        open_line 1;
+        tokens_line 1 [ "DIV"; "P" ];
+        tokens_line 1 [ "/P"; "INPUT"; "/DIV" ];
+        close_line 1;
+      ]
+  in
+  check_frames "page ≡ tokens" out_tok out_page
+
+let test_sup_page_unknown_tag () =
+  let out =
+    Supervisor.handle_batch (mk_h ())
+      [
+        open_line 1;
+        page_line 1 "<div><table>";
+        page_line 1 "<input>";
+        close_line 1;
+      ]
+  in
+  check_frames "unknown tag kills only the session"
+    [
+      Frame.Opened { id = 1 };
+      Frame.Err_proto { id = 1; reason = "unknown symbol \"TABLE\"" };
+      Frame.Err_proto { id = 1; reason = "session is gone" };
+      Frame.Err_proto { id = 1; reason = "session is gone" };
+    ]
+    out
+
 (* --- supervisor --- *)
 
 let test_sup_admission_ladder () =
@@ -224,6 +302,15 @@ let () =
             test_session_bad_symbol_keeps_pinned;
           Alcotest.test_case "injected fault by ordinal" `Quick
             test_session_injected_fault;
+          Alcotest.test_case "page stream through the fused front-end" `Quick
+            test_session_page_stream;
+        ] );
+      ( "page-frames",
+        [
+          Alcotest.test_case "page frames ≡ token frames" `Quick
+            test_sup_page_equals_tokens;
+          Alcotest.test_case "unknown tag is a terminal proto error" `Quick
+            test_sup_page_unknown_tag;
         ] );
       ( "supervisor",
         [
