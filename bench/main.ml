@@ -201,10 +201,26 @@ let e5 () =
 
 let e6 () =
   banner "E6" "wrapper resilience under page edits (the par.1/par.3 claim)";
-  let rows =
-    Resilience.evaluate ~seed:42 ~trials:30 ~intensities:[ 0; 1; 2; 4; 6; 8 ] ()
+  (* per-trial rows (seed, intensity, per-extractor verdicts, the
+     applied op trace) as one JSON object per line — the raw material
+     failure analyses can slice without re-running the experiment *)
+  let trials_path =
+    Option.value
+      (Sys.getenv_opt "BENCH_RESILIENCE_TRIALS")
+      ~default:"BENCH_resilience_trials.jsonl"
   in
+  let oc = open_out trials_path in
+  let sink j =
+    output_string oc (Obs.Json.to_string j);
+    output_char oc '\n'
+  in
+  let rows =
+    Resilience.evaluate ~sink ~seed:42 ~trials:30
+      ~intensities:[ 0; 1; 2; 4; 6; 8 ] ()
+  in
+  close_out oc;
   Format.printf "%a@." Resilience.pp_table rows;
+  Printf.printf "wrote %s\n" trials_path;
   Printf.printf
     "shape check: maximized >> LR > merged > rigid at every nonzero\n\
      intensity; absolute numbers depend on the perturbation mix, the\n\
@@ -1111,6 +1127,7 @@ let e17 () =
           fuel = None;
           deadline_ms = None;
           retry_after_ms = 50;
+          heal = None;
         }
     in
     List.concat_map (Supervisor.handle_batch sup) batches
@@ -1314,11 +1331,183 @@ let e18 () =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ----- E19: self-healing under mid-stream layout drift ----- *)
+
+let e19 () =
+  banner "E19" "self-healing vs frozen wrappers under mid-stream layout drift";
+  let top = Pagegen.figure1_top () in
+  let bottom = Pagegen.figure1_bottom () in
+  let samples =
+    [
+      (top, Option.get (Pagegen.target_path top));
+      (bottom, Option.get (Pagegen.target_path bottom));
+    ]
+  in
+  let alpha0 = Wrapper.alphabet_for (List.map fst samples) in
+  (* the stream: pre-drift sessions are light §3 perturbations of the
+     learned layout; at the flip every subsequent page arrives inside a
+     SECTION wrapper — a tag outside the learned alphabet, the §3
+     "redesign" a frozen wrapper can never recover from *)
+  let n_pre = 6 and n_post = 12 in
+  let pre_pages =
+    List.init n_pre (fun i ->
+        let rng = Random.State.make [| 0xe19; i |] in
+        Html_tree.to_string (Perturb.perturb rng ~intensity:1 top))
+  in
+  let post_page = "<section>" ^ Html_tree.to_string top ^ "</section>" in
+  let post_pages = List.init n_post (fun _ -> post_page) in
+  let open_l id = Printf.sprintf {|{"op":"open","id":%d}|} id in
+  let close_l id = Printf.sprintf {|{"op":"close","id":%d}|} id in
+  let page_l id html =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("op", Obs.Json.Str "page");
+           ("id", Obs.Json.Int id);
+           ("html", Obs.Json.Str html);
+         ])
+  in
+  (* one batch per session: verdicts land at each session's boundary,
+     so the detector trips as early as the evidence allows *)
+  let batches =
+    List.mapi
+      (fun i html -> [ open_l (i + 1); page_l (i + 1) html; close_l (i + 1) ])
+      (pre_pages @ post_pages)
+  in
+  let survived out ids =
+    List.length
+      (List.filter
+         (fun id ->
+           List.exists
+             (function
+               | Frame.Split { id = i; _ } -> i = id
+               | _ -> false)
+             out)
+         ids)
+  in
+  let cell ~maximize ~healed =
+    match Wrapper.learn ~maximize ~alpha:alpha0 samples with
+    | Error _ -> failwith "E19: Figure 1 wrapper failed to learn"
+    | Ok w ->
+        let heal =
+          if not healed then None
+          else
+            Some
+              (Heal.Manager.create
+                 ~config:
+                   {
+                     Heal.default_config with
+                     Heal.window = 4;
+                     threshold = 0.4;
+                     min_samples = 2;
+                     maximize;
+                   }
+                 ~samples w)
+        in
+        let sup =
+          Supervisor.create
+            {
+              Supervisor.matcher = w.Wrapper.matcher;
+              alpha = w.Wrapper.alpha;
+              jobs = 2;
+              max_sessions = 64;
+              fuel = None;
+              deadline_ms = None;
+              retry_after_ms = 50;
+              heal;
+            }
+        in
+        let out = List.concat_map (Supervisor.handle_batch sup) batches in
+        let pre_ids = List.init n_pre (fun i -> i + 1) in
+        let post_ids = List.init n_post (fun i -> i + n_pre + 1) in
+        let healed_frames =
+          List.length
+            (List.filter (function Frame.Healed _ -> true | _ -> false) out)
+        in
+        (survived out pre_ids, survived out post_ids, healed_frames)
+  in
+  let heal0 = Heal.stats () in
+  let lat0 = Heal.resynthesis_latency () in
+  let mx_heal = cell ~maximize:true ~healed:true in
+  let mx_frozen = cell ~maximize:true ~healed:false in
+  let mg_heal = cell ~maximize:false ~healed:true in
+  let mg_frozen = cell ~maximize:false ~healed:false in
+  let pct n d = 100.0 *. float_of_int n /. float_of_int d in
+  Printf.printf
+    "stream: %d pre-drift sessions (intensity-1 perturbations), then a\n\
+     SECTION layout flip for %d sessions.  survival = sessions with a split.\n\n"
+    n_pre n_post;
+  Printf.printf
+    "| wrapper | healing | pre-drift %% | post-drift %% | heals |\n\
+     |---|---|---|---|---|\n";
+  List.iter
+    (fun (name, healing, (pre, post, heals)) ->
+      Printf.printf "| %-9s | %-6s | %5.1f | %5.1f | %d |\n" name healing
+        (pct pre n_pre) (pct post n_post) heals)
+    [
+      ("maximized", "healed", mx_heal);
+      ("maximized", "frozen", mx_frozen);
+      ("merged", "healed", mg_heal);
+      ("merged", "frozen", mg_frozen);
+    ];
+  let heal1 = Heal.stats () in
+  let lat =
+    Obs.Histogram.delta ~earlier:lat0 (Heal.resynthesis_latency ())
+  in
+  let pre_h, post_h, _ = mx_heal in
+  let pre_f, post_f, _ = mx_frozen in
+  let survival_healed = pct post_h n_post /. 100.0 in
+  let survival_frozen = pct post_f n_post /. 100.0 in
+  let gate = survival_healed > survival_frozen in
+  Printf.printf
+    "\ntrips %d · healed %d · failures %d · resynthesis mean %d us\n"
+    (heal1.Heal.trips - heal0.Heal.trips)
+    (heal1.Heal.healed - heal0.Heal.healed)
+    (heal1.Heal.heal_failures - heal0.Heal.heal_failures)
+    (Obs.Histogram.mean_ns lat / 1000);
+  Printf.printf "shape check: healed survives the flip, frozen does not: %b\n"
+    gate;
+  Printf.printf
+    "(pre-drift, maximized healed vs frozen: %.1f%% vs %.1f%% — healing\n\
+     never costs the undrifted sessions anything)\n"
+    (pct pre_h n_pre) (pct pre_f n_pre);
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_HEAL_JSON") ~default:"BENCH_heal.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E19\",\n\
+    \  \"pre_sessions\": %d,\n\
+    \  \"post_sessions\": %d,\n\
+    \  \"survival_healed\": %.4f,\n\
+    \  \"survival_frozen\": %.4f,\n\
+    \  \"survival_healed_merged\": %.4f,\n\
+    \  \"survival_frozen_merged\": %.4f,\n\
+    \  \"trips\": %d,\n\
+    \  \"healed\": %d,\n\
+    \  \"heal_failures\": %d,\n\
+    \  \"resynthesis_mean_us\": %d,\n\
+    \  \"healed_beats_frozen\": %b\n\
+     }\n"
+    n_pre n_post survival_healed survival_frozen
+    (let _, post, _ = mg_heal in
+     pct post n_post /. 100.0)
+    (let _, post, _ = mg_frozen in
+     pct post n_post /. 100.0)
+    (heal1.Heal.trips - heal0.Heal.trips)
+    (heal1.Heal.healed - heal0.Heal.healed)
+    (heal1.Heal.heal_failures - heal0.Heal.heal_failures)
+    (Obs.Histogram.mean_ns lat / 1000)
+    gate;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18) ]
+    ("E17", e17); ("E18", e18); ("E19", e19) ]
 
 let () =
   let requested =

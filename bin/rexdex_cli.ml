@@ -674,38 +674,158 @@ let serve_cmd =
     in
     Arg.(value & opt_all int [] & info [ "inject-fault" ] ~docv:"IDX" ~doc)
   in
+  let heal_arg =
+    let doc =
+      "Enable the self-healing loop: learn the wrapper from the \
+       --heal-sample pages, watch per-session extraction verdicts for \
+       drift, quarantine failing pages, and re-synthesize + hot-swap the \
+       wrapper generation when the failure rate trips.  Replaces EXPR, \
+       -a, and --load (the learned wrapper supplies both)."
+    in
+    Arg.(value & flag & info [ "heal" ] ~doc)
+  in
+  let heal_sample_arg =
+    let doc =
+      "Marked sample page (data-target) to learn the served wrapper from; \
+       repeatable, required with --heal.  Kept for re-synthesis."
+    in
+    Arg.(value & opt_all file [] & info [ "heal-sample" ] ~docv:"PAGE" ~doc)
+  in
+  let heal_window_arg =
+    let doc = "Drift detector EWMA window (verdicts)." in
+    Arg.(
+      value
+      & opt int Heal.default_config.Heal.window
+      & info [ "heal-window" ] ~docv:"N" ~doc)
+  in
+  let heal_threshold_arg =
+    let doc = "Drift detector trip threshold (failure rate in (0,1))." in
+    Arg.(
+      value
+      & opt float Heal.default_config.Heal.threshold
+      & info [ "heal-threshold" ] ~docv:"RATE" ~doc)
+  in
+  let heal_min_samples_arg =
+    let doc = "Verdicts required before the detector may trip." in
+    Arg.(
+      value
+      & opt int Heal.default_config.Heal.min_samples
+      & info [ "heal-min-samples" ] ~docv:"N" ~doc)
+  in
+  let heal_quarantine_arg =
+    let doc =
+      "Quarantine ring capacity (failing pages kept for re-labeling; \
+       oldest evicted)."
+    in
+    Arg.(
+      value
+      & opt int Heal.default_config.Heal.quarantine_capacity
+      & info [ "heal-quarantine" ] ~docv:"N" ~doc)
+  in
+  let heal_fuel_arg =
+    let doc = "Re-synthesis fuel budget (Guard units)." in
+    Arg.(
+      value
+      & opt int Heal.default_config.Heal.fuel
+      & info [ "heal-fuel" ] ~docv:"N" ~doc)
+  in
+  let heal_deadline_arg =
+    let doc = "Re-synthesis wall-clock bound (ms)." in
+    Arg.(
+      value
+      & opt (some int) Heal.default_config.Heal.deadline_ms
+      & info [ "heal-deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let heal_save_arg =
+    let doc =
+      "Re-save each healed generation as a generation-stamped .rxc \
+       artifact at this path."
+    in
+    Arg.(value & opt (some string) None & info [ "heal-save" ] ~docv:"FILE" ~doc)
+  in
   let run syms expr_str load jobs max_sessions fuel deadline_ms retry_after_ms
-      socket batch_max stats inject trace metrics =
+      socket batch_max stats inject heal heal_samples heal_window
+      heal_threshold heal_min_samples heal_quarantine heal_fuel heal_deadline
+      heal_save trace metrics =
     handle_errors @@ fun () ->
     obs_setup trace metrics;
     if inject <> [] then Guard_faults.arm Guard_faults.Session_item ~at:inject;
-    let alpha, matcher =
-      match (load, expr_str) with
-      | Some _, Some _ ->
-          Format.eprintf "error: give either an EXPR or --load, not both@.";
-          exit 2
-      | None, None ->
+    let alpha, matcher, heal_mgr =
+      if heal then begin
+        if heal_samples = [] then begin
           Format.eprintf
-            "error: give an EXPR to serve, or --load a compiled artifact@.";
+            "error: --heal requires at least one --heal-sample page@.";
           exit 2
-      | Some path, None ->
-          if syms <> None then begin
-            Format.eprintf
-              "error: the alphabet is stored in the artifact; drop -a when \
-               using --load@.";
-            exit 2
-          end;
-          let a = load_artifact path in
-          Artifact.seed_caches a;
-          (a.Artifact.alpha, Artifact.matcher a)
-      | None, Some expr_str -> (
-          match syms with
+        end;
+        if expr_str <> None || load <> None || syms <> None then begin
+          Format.eprintf
+            "error: --heal learns the wrapper from --heal-sample pages; \
+             drop EXPR, -a, and --load@.";
+          exit 2
+        end;
+        let load_sample f =
+          let doc = Html_tree.parse (read_file f) in
+          match Pagegen.target_path doc with
+          | Some path -> (doc, path)
           | None ->
-              Format.eprintf "error: -a/--alphabet is required without --load@.";
+              Format.eprintf "%s: no data-target element@." f;
               exit 2
-          | Some syms ->
-              let alpha, e = parse_env syms expr_str in
-              (alpha, Extraction.compile e))
+        in
+        let samples = List.map load_sample heal_samples in
+        let alpha = Wrapper.alphabet_for (List.map fst samples) in
+        match Wrapper.learn ~alpha samples with
+        | Error e ->
+            Format.eprintf "learning failed: %a@." Wrapper.pp_learn_error e;
+            exit 1
+        | Ok w ->
+            let config =
+              {
+                Heal.default_config with
+                Heal.window = heal_window;
+                threshold = heal_threshold;
+                min_samples = heal_min_samples;
+                quarantine_capacity = heal_quarantine;
+                fuel = heal_fuel;
+                deadline_ms = heal_deadline;
+                save_to = heal_save;
+              }
+            in
+            let m = Heal.Manager.create ~config ~samples w in
+            (w.Wrapper.alpha, w.Wrapper.matcher, Some m)
+      end
+      else begin
+        if heal_samples <> [] then begin
+          Format.eprintf "error: --heal-sample requires --heal@.";
+          exit 2
+        end;
+        match (load, expr_str) with
+        | Some _, Some _ ->
+            Format.eprintf "error: give either an EXPR or --load, not both@.";
+            exit 2
+        | None, None ->
+            Format.eprintf
+              "error: give an EXPR to serve, or --load a compiled artifact@.";
+            exit 2
+        | Some path, None ->
+            if syms <> None then begin
+              Format.eprintf
+                "error: the alphabet is stored in the artifact; drop -a when \
+                 using --load@.";
+              exit 2
+            end;
+            let a = load_artifact path in
+            Artifact.seed_caches a;
+            (a.Artifact.alpha, Artifact.matcher a, None)
+        | None, Some expr_str -> (
+            match syms with
+            | None ->
+                Format.eprintf
+                  "error: -a/--alphabet is required without --load@.";
+                exit 2
+            | Some syms ->
+                let alpha, e = parse_env syms expr_str in
+                (alpha, Extraction.compile e, None))
+      end
     in
     let jobs = if jobs <= 0 then Batch.recommended_jobs () else jobs in
     let cfg =
@@ -719,6 +839,7 @@ let serve_cmd =
             fuel;
             deadline_ms;
             retry_after_ms;
+            heal = heal_mgr;
           };
         source =
           (match socket with
@@ -740,8 +861,10 @@ let serve_cmd =
       const run $ alphabet_opt_arg $ expr_opt_arg
       $ load_arg ~instead_of:"compiling EXPR"
       $ jobs_arg $ max_sessions_arg $ fuel_arg $ deadline_arg $ retry_after_arg
-      $ socket_arg $ batch_max_arg $ stats_arg $ inject_fault_arg $ trace_arg
-      $ metrics_arg)
+      $ socket_arg $ batch_max_arg $ stats_arg $ inject_fault_arg $ heal_arg
+      $ heal_sample_arg $ heal_window_arg $ heal_threshold_arg
+      $ heal_min_samples_arg $ heal_quarantine_arg $ heal_fuel_arg
+      $ heal_deadline_arg $ heal_save_arg $ trace_arg $ metrics_arg)
 
 (* --- validate (DTD) --- *)
 

@@ -438,8 +438,9 @@ module Span = struct
     | Verdict
     | Batch_run
     | Front
+    | Heal
 
-  let n_stages = 8
+  let n_stages = 9
 
   let stage_id = function
     | Determinize -> 0
@@ -450,6 +451,7 @@ module Span = struct
     | Verdict -> 5
     | Batch_run -> 6
     | Front -> 7
+    | Heal -> 8
 
   let all_stages =
     [
@@ -461,6 +463,7 @@ module Span = struct
       Verdict;
       Batch_run;
       Front;
+      Heal;
     ]
 
   let stage_name = function
@@ -472,6 +475,7 @@ module Span = struct
     | Verdict -> "verdict"
     | Batch_run -> "batch"
     | Front -> "front"
+    | Heal -> "heal"
 
   type t = int
 

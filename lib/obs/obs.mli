@@ -123,7 +123,8 @@ module Span : sig
       (Lemma 5.2 / Def 5.1 constructions), [Cache_build] (a memo miss
       computing its value), [Verdict] (a Thm 5.6 / Cor 5.8 decision),
       [Batch_run] (a pool fan-out), [Front] (a fused raw-HTML →
-      symbol-id → path pass over a page). *)
+      symbol-id → path pass over a page), [Heal] (a wrapper
+      re-synthesis run of the self-healing loop). *)
   type stage =
     | Determinize
     | Minimize
@@ -133,6 +134,7 @@ module Span : sig
     | Verdict
     | Batch_run
     | Front
+    | Heal
 
   val stage_name : stage -> string
 

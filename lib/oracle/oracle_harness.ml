@@ -24,6 +24,7 @@ let all =
     { name = "artifact"; tests = Oracle_artifact.tests };
     { name = "serve"; tests = Oracle_serve.tests };
     { name = "front"; tests = Oracle_front.tests };
+    { name = "heal"; tests = Oracle_heal.tests };
   ]
 
 let run_one ~seed ~index ~suite t =

@@ -1,0 +1,14 @@
+(** Differential oracles for the self-healing loop.
+
+    The healing subsystem's contracts are all about {e not} changing
+    anything it did not promise to change: a healing-disabled daemon
+    must be byte-identical to one built without the subsystem, a healed
+    daemon's output must stay jobs-invariant (verdicts are observed in
+    arrival order, never schedule order), the drift detector must trip
+    at exactly the point the pure EWMA recurrence predicts, the
+    quarantine ring must keep exactly the newest [capacity] pages, a
+    re-synthesized wrapper must still extract every original training
+    sample, and re-labeling must recover the ground-truth node through
+    either the surviving [data-target] mark or the LR locator. *)
+
+val tests : count:int -> QCheck.Test.t list

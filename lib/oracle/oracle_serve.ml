@@ -51,6 +51,7 @@ let sup ?(jobs = 1) ?(max_sessions = 64) ?fuel m alpha =
       fuel;
       deadline_ms = None;
       retry_after_ms = Supervisor.default_retry_after_ms;
+      heal = None;
     }
 
 (* One session per derived word: full word, half prefix, short prefix —
@@ -79,7 +80,7 @@ let script alpha words =
   opens @ List.map fst halves @ List.map snd halves @ closes
 
 let frame_id = function
-  | Frame.Err_decode _ -> None
+  | Frame.Err_decode _ | Frame.Healed _ -> None
   | Frame.Opened { id }
   | Frame.Split { id; _ }
   | Frame.Closed { id; _ }

@@ -5,6 +5,7 @@ type t = {
   left_dfa : Dfa.t;
   right_dfa : Dfa.t;
   right_rev_dfa : Dfa.t;
+  generation : int;
 }
 
 let magic = "rxc!"
@@ -118,6 +119,11 @@ let to_bytes t =
   put_dfa payload t.left_dfa;
   put_dfa payload t.right_dfa;
   put_dfa payload t.right_rev_dfa;
+  (* healing-generation stamp: a trailing u32, present only when
+     non-zero.  Generation-0 artifacts therefore encode byte-for-byte
+     as format 1 always did — the golden-corpus identity gate and every
+     pre-healing reader stay valid. *)
+  if t.generation > 0 then put_u32 payload t.generation;
   let payload = Buffer.contents payload in
   let buf = Buffer.create (String.length payload + 16) in
   Buffer.add_string buf magic;
@@ -234,9 +240,18 @@ let decode bytes =
   let left_dfa = get_dfa ~expect_alpha payload pos in
   let right_dfa = get_dfa ~expect_alpha payload pos in
   let right_rev_dfa = get_dfa ~expect_alpha payload pos in
-  if !pos <> String.length payload then
-    malformed "trailing bytes inside the payload";
-  { alpha; abstraction; expr; left_dfa; right_dfa; right_rev_dfa }
+  (* the optional generation stamp is exactly one trailing u32; any
+     other leftover is still malformed *)
+  let generation =
+    match String.length payload - !pos with
+    | 0 -> 0
+    | 4 ->
+        let g = get_u32 payload pos in
+        if g = 0 then malformed "explicit generation 0 (must be omitted)";
+        g
+    | _ -> malformed "trailing bytes inside the payload"
+  in
+  { alpha; abstraction; expr; left_dfa; right_dfa; right_rev_dfa; generation }
 
 let of_bytes bytes =
   match decode bytes with
@@ -261,7 +276,9 @@ let load path =
 
 (* --- producing --- *)
 
-let of_extraction ?(abstraction = "tags") expr =
+let of_extraction ?(abstraction = "tags") ?(generation = 0) expr =
+  if generation < 0 then
+    invalid_arg "Artifact.of_extraction: negative generation";
   (* The wire form of the expression is its concrete syntax, and the
      parser's smart constructors normalize as they build — so package
      the parse of the rendering, making save∘load the identity on the
@@ -285,6 +302,7 @@ let of_extraction ?(abstraction = "tags") expr =
     left_dfa;
     right_dfa;
     right_rev_dfa;
+    generation;
   }
 
 let save t path =
@@ -314,6 +332,7 @@ let equal a b =
   && a.abstraction = b.abstraction
   && Extraction.to_string a.expr = Extraction.to_string b.expr
   && a.expr.Extraction.mark = b.expr.Extraction.mark
+  && a.generation = b.generation
   && Dfa.equal_structure a.left_dfa b.left_dfa
   && Dfa.equal_structure a.right_dfa b.right_dfa
   && Dfa.equal_structure a.right_rev_dfa b.right_rev_dfa

@@ -52,6 +52,13 @@ type t = {
   left_dfa : Dfa.t;
   right_dfa : Dfa.t;
   right_rev_dfa : Dfa.t;
+  generation : int;
+      (** healing generation: 0 for a freshly compiled wrapper,
+          incremented each time the self-healing loop re-synthesizes
+          and re-saves it.  Encoded as a single trailing u32 inside the
+          CRC-covered payload {e only when non-zero}, so generation-0
+          artifacts are byte-identical to pre-healing format-1 files
+          (the golden-corpus identity gate depends on this). *)
 }
 
 val format_version : int
@@ -72,7 +79,7 @@ val pp_error : Format.formatter -> error -> unit
 
 (** {1 Producing} *)
 
-val of_extraction : ?abstraction:string -> Extraction.t -> t
+val of_extraction : ?abstraction:string -> ?generation:int -> Extraction.t -> t
 (** Compile (through the cached {!Lang} pipeline) and package an
     expression.  The packaged expression is {e normalized} — re-parsed
     from its own rendering, since the wire form is concrete syntax and
@@ -80,7 +87,9 @@ val of_extraction : ?abstraction:string -> Extraction.t -> t
     [save]∘[load] is the identity on the artifact and the seeded cache
     keys are the ones a loading process interns.  All three DFAs pass
     {!Dfa.validate} before they are ever serialized — the save side of
-    the checksum licence.  [abstraction] defaults to ["tags"]. *)
+    the checksum licence.  [abstraction] defaults to ["tags"];
+    [generation] to [0] (a fresh, never-healed wrapper).
+    @raise Invalid_argument on a negative [generation]. *)
 
 val to_bytes : t -> string
 val save : t -> string -> unit

@@ -8,6 +8,7 @@ type outgoing =
   | Opened of { id : int }
   | Split of { id : int; pos : int }
   | Closed of { id : int; splits : int; tokens : int }
+  | Healed of { generation : int; used : int }
   | Err_decode of { reason : string }
   | Err_proto of { id : int; reason : string }
   | Err_shed of { id : int; retry_after_ms : int }
@@ -103,6 +104,13 @@ let encode out =
             ("id", Int id);
             ("splits", Int splits);
             ("tokens", Int tokens);
+          ]
+    | Healed { generation; used } ->
+        Obj
+          [
+            ("ok", Str "healed");
+            ("generation", Int generation);
+            ("used", Int used);
           ]
     | Err_decode { reason } ->
         Obj [ ("err", Str "decode"); ("reason", Str reason) ]

@@ -22,6 +22,8 @@
       {"ok":"opened","id":7}
       {"split":3,"id":7}                         a pinned split position
       {"ok":"closed","id":7,"splits":1,"tokens":9}
+      {"ok":"healed","generation":1,"used":3}    a wrapper generation swap
+                                                 (only with --heal; see lib/heal)
       {"err":"decode","reason":"…"}              malformed frame (no session dies)
       {"err":"proto","id":7,"reason":"…"}        protocol misuse / bad symbol
       {"err":"shed","id":7,"retry_after_ms":50}  load shed: retry later
@@ -56,6 +58,14 @@ type outgoing =
   | Opened of { id : int }
   | Split of { id : int; pos : int }
   | Closed of { id : int; splits : int; tokens : int }
+  | Healed of { generation : int; used : int }
+      (** the self-healing loop re-synthesized and hot-swapped the
+          wrapper: sessions opened from the next frame on run the new
+          [generation]; [used] counts the quarantined pages that were
+          re-labeled into the training set.  Emitted at a batch
+          boundary, after the batch's other frames, and never when
+          healing is off — a healing-disabled daemon's output is
+          byte-identical to one built without the heal subsystem *)
   | Err_decode of { reason : string }
   | Err_proto of { id : int; reason : string }
   | Err_shed of { id : int; retry_after_ms : int }

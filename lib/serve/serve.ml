@@ -123,8 +123,9 @@ let serve_fd cfg sup fd oc =
   loop ();
   ignore (emit oc (Supervisor.drain sup))
 
-let print_exit_stats ~rt0 ~pool0 =
+let print_exit_stats ~heal ~rt0 ~pool0 =
   Format.eprintf "%a" Supervisor.pp_stats (Supervisor.stats ());
+  if heal then Format.eprintf "%a" Heal.pp_stats (Heal.stats ());
   Format.eprintf "%a" Runtime.Stats.pp
     (Runtime.Stats.delta ~earlier:rt0 (Runtime.stats ()));
   Format.eprintf "%a" Pool.pp_stats
@@ -177,5 +178,6 @@ let run cfg =
             (try Unix.unlink path with Unix.Unix_error _ -> ());
             0)
   in
-  if cfg.print_stats then print_exit_stats ~rt0 ~pool0;
+  if cfg.print_stats then
+    print_exit_stats ~heal:(Option.is_some cfg.sup.Supervisor.heal) ~rt0 ~pool0;
   code

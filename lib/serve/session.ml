@@ -18,14 +18,25 @@ type fiber =
 type t = {
   sid : int;
   sordinal : int;
+  sgeneration : int;
+      (* the wrapper generation this session was admitted under; a heal
+         swap mid-stream never migrates a live fiber *)
   alpha : Alphabet.t;
   front : Front.table option;
       (* shared fused-front-end token table (supervisor builds one per
          daemon); [None] falls back to a per-session build on the
          first [page] frame *)
   budget : Guard.Budget.t option;
+  capture : Buffer.t option;
+      (* bounded raw-page capture for the healing quarantine; [None]
+         when healing is off, so the hot path allocates nothing *)
+  capture_max : int;
+  mutable capture_overflow : bool;
   mutable fiber : fiber;
   mutable live : bool;
+  mutable failed : bool;
+      (* a terminal event (bad symbol / budget / fault) killed the
+         session — distinct from a clean finish *)
   mutable tokens : int;
   mutable splits : int;
   mutable f_stream : Front.stream option;
@@ -36,11 +47,14 @@ type t = {
 
 let id t = t.sid
 let ordinal t = t.sordinal
+let generation t = t.sgeneration
 let alive t = t.live
+let failed t = t.failed
 let tokens_fed t = t.tokens
 let splits_emitted t = t.splits
 
-let create ~matcher ~alpha ~id ~ordinal ?front ?fuel ?deadline_ms () =
+let create ~matcher ~alpha ~id ~ordinal ?front ?fuel ?deadline_ms
+    ?(generation = 0) ?capture () =
   let budget =
     match (fuel, deadline_ms) with
     | None, None -> None
@@ -54,11 +68,16 @@ let create ~matcher ~alpha ~id ~ordinal ?front ?fuel ?deadline_ms () =
     {
       sid = id;
       sordinal = ordinal;
+      sgeneration = generation;
       alpha;
       front;
       budget;
+      capture = Option.map (fun _ -> Buffer.create 1024) capture;
+      capture_max = Option.value capture ~default:0;
+      capture_overflow = false;
       fiber = Finished;
       live = true;
+      failed = false;
       tokens = 0;
       splits = 0;
       f_stream = None;
@@ -132,8 +151,27 @@ let drain_pending t =
    point in the stream). *)
 let die t ev =
   t.live <- false;
+  t.failed <- true;
   discard_fiber t;
   t.pending <- ev :: t.pending
+
+(* Capture happens outside the liveness check (the supervisor records
+   every [page] chunk of a heal-observed session, even after it died on
+   an earlier chunk): the quarantined page must be the whole document a
+   re-synthesis can re-label, not the prefix up to the failure. *)
+let capture_chunk t html =
+  match t.capture with
+  | None -> ()
+  | Some buf ->
+      if Buffer.length buf + String.length html > t.capture_max then
+        t.capture_overflow <- true
+      else Buffer.add_string buf html
+
+let captured_page t =
+  match t.capture with
+  | Some buf when (not t.capture_overflow) && Buffer.length buf > 0 ->
+      Some (Buffer.contents buf)
+  | Some _ | None -> None
 
 let feed t names =
   if not t.live then []

@@ -46,6 +46,8 @@ val create :
   ?front:Front.table ->
   ?fuel:int ->
   ?deadline_ms:int ->
+  ?generation:int ->
+  ?capture:int ->
   unit ->
   t
 (** Start the fiber (runs until the matcher first awaits input).
@@ -54,7 +56,11 @@ val create :
     front-end's token table used by {!feed_page}; the supervisor
     builds one per daemon so sessions share it (omitting it falls back
     to a per-session build on the first page chunk).  Omitting both
-    [fuel] and [deadline_ms] runs unbudgeted.
+    [fuel] and [deadline_ms] runs unbudgeted.  [generation] (default
+    0) records the wrapper generation the session was admitted under —
+    a healing swap never migrates a live fiber.  [capture] (bytes)
+    enables bounded raw-page capture for the healing quarantine;
+    omitted, the session allocates no capture state.
     @raise Extraction.Not_online if the matcher's right side is not
     Σ* (the daemon checks once at startup, so reaching this from
     [serve] is a bug). *)
@@ -62,9 +68,17 @@ val create :
 val id : t -> int
 val ordinal : t -> int
 
+val generation : t -> int
+(** The wrapper generation this session runs ([create]'s argument). *)
+
 val alive : t -> bool
 (** [false] once a terminal event was emitted or {!finish}/{!kill}
     ran. *)
+
+val failed : t -> bool
+(** [true] once a {e terminal} event (bad symbol, exhausted budget,
+    fault) killed the session — a clean {!finish} leaves it [false].
+    The healing verdict distinguishes the two. *)
 
 val tokens_fed : t -> int
 val splits_emitted : t -> int
@@ -97,3 +111,18 @@ val finish : t -> event list
 val kill : t -> unit
 (** Discard the fiber without end-of-stream (supervisor shutdown of a
     poisoned session).  Never raises; idempotent. *)
+
+(** {1 Page capture (healing)} *)
+
+val capture_chunk : t -> string -> unit
+(** Record one raw [page] chunk into the session's bounded capture
+    buffer (no-op unless [create ~capture] enabled it).  Deliberately
+    independent of liveness: the supervisor records every chunk of a
+    heal-observed session even after it died on an earlier one, so the
+    quarantined page is the whole document re-synthesis can re-label,
+    not the prefix up to the failure.  Exceeding the cap discards the
+    capture (the page is shed, not truncated). *)
+
+val captured_page : t -> string option
+(** The complete captured page bytes; [None] for token-only sessions,
+    capture-disabled sessions, and pages that overflowed the cap. *)

@@ -6,6 +6,7 @@ type config = {
   fuel : int option;
   deadline_ms : int option;
   retry_after_ms : int;
+  heal : Heal.Manager.t option;
 }
 
 let default_retry_after_ms = 50
@@ -99,9 +100,16 @@ let () =
 
 type t = {
   cfg : config;
-  front : Front.table;
+  mutable cur_matcher : Extraction.matcher;
+  mutable cur_alpha : Alphabet.t;
+      (* the current wrapper generation's matcher and alphabet; equal
+         to [cfg.matcher]/[cfg.alpha] until a heal swaps them.  Only
+         the supervising domain writes, and only at batch boundaries —
+         live sessions keep the matcher they were admitted with. *)
+  mutable front : Front.table;
       (* one fused front-end token table per daemon, shared read-only
-         by every session that streams raw HTML ([page] frames) *)
+         by every session that streams raw HTML ([page] frames);
+         rebuilt on a generation swap *)
   sessions : (int, Session.t) Hashtbl.t;
   mutable next_ordinal : int;
   mutable is_draining : bool;
@@ -117,6 +125,8 @@ let create cfg =
          { expr = Extraction.to_string (Extraction.matcher_expr cfg.matcher) });
   {
     cfg;
+    cur_matcher = cfg.matcher;
+    cur_alpha = cfg.alpha;
     front = Front.build cfg.alpha;
     sessions = Hashtbl.create 64;
     next_ordinal = 0;
@@ -205,9 +215,16 @@ let handle_batch t lines =
             else begin
               let ordinal = t.next_ordinal in
               t.next_ordinal <- ordinal + 1;
+              let generation, capture =
+                match t.cfg.heal with
+                | None -> (0, None)
+                | Some m ->
+                    ( Heal.Manager.generation m,
+                      Some (Heal.Manager.config m).Heal.max_page_bytes )
+              in
               let s =
-                Session.create ~matcher:t.cfg.matcher ~alpha:t.cfg.alpha ~id
-                  ~ordinal ~front:t.front
+                Session.create ~matcher:t.cur_matcher ~alpha:t.cur_alpha ~id
+                  ~ordinal ~front:t.front ~generation ?capture
                   ?fuel:
                     (match fuel with Some _ -> fuel | None -> t.cfg.fuel)
                   ?deadline_ms:
@@ -288,6 +305,10 @@ let handle_batch t lines =
                 [ Frame.Err_proto { id; reason = "session is gone" } ]
             end
         | W_page html ->
+            (* capture is independent of liveness: the quarantined page
+               must be the whole document, not the prefix up to the
+               failure (a no-op unless healing enabled it) *)
+            Session.capture_chunk session html;
             if was_alive then
               results.(i) <-
                 frames_of_events ~id (Session.feed_page session html)
@@ -319,6 +340,36 @@ let handle_batch t lines =
       t.sessions []
   in
   List.iter (Hashtbl.remove t.sessions) dead;
+  (* --- healing: verdicts and (maybe) a generation swap.
+
+     Every session that terminated this batch — cleanly or not — yields
+     one verdict, observed in [group_arr] (arrival) order on the
+     supervising domain, so the detector's trip point is deterministic
+     and jobs-invariant.  A successful heal swaps the current
+     matcher/alphabet/front for sessions opened from the next frame on
+     and appends one [healed] frame after the batch's output; with
+     [heal = None] this whole block is inert and the output is
+     byte-identical to a build without the heal subsystem. *)
+  let heal_frames =
+    match t.cfg.heal with
+    | None -> []
+    | Some m -> (
+        Array.iter
+          (fun (_, s) ->
+            if not (Session.alive s) then
+              Heal.Manager.observe m
+                ~ok:((not (Session.failed s)) && Session.splits_emitted s > 0)
+                ~page:(Session.captured_page s))
+          group_arr;
+        match Heal.Manager.maybe_heal m with
+        | Heal.Manager.No_trip | Heal.Manager.Heal_failed _ -> []
+        | Heal.Manager.Healed { generation; used } ->
+            let w = Heal.Manager.wrapper m in
+            t.cur_matcher <- w.Wrapper.matcher;
+            t.cur_alpha <- w.Wrapper.alpha;
+            t.front <- Front.build ~abs:w.Wrapper.abs w.Wrapper.alpha;
+            [ Frame.Healed { generation; used } ])
+  in
   (* --- pass 3: emission in arrival order --- *)
   let out = ref [] in
   Array.iteri
@@ -331,7 +382,7 @@ let handle_batch t lines =
   for _ = 1 to n do
     Obs.Histogram.observe latency dt
   done;
-  List.rev !out
+  List.rev !out @ heal_frames
 
 let handle_line t line = handle_batch t [ line ]
 

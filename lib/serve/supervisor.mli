@@ -52,6 +52,18 @@ type config = {
   fuel : int option;  (** default per-session fuel (frames can override) *)
   deadline_ms : int option;  (** default per-session deadline *)
   retry_after_ms : int;  (** backoff hint attached to shed frames *)
+  heal : Heal.Manager.t option;
+      (** the self-healing loop, when enabled.  Each session that
+          terminates — cleanly or by fault — yields one verdict
+          ([ok = no terminal event ∧ at least one split]), observed in
+          arrival order at the batch boundary; page sessions are
+          captured whole for the quarantine.  When the manager heals,
+          the supervisor adopts the new generation's matcher, alphabet,
+          and front-end table for sessions opened from the next frame
+          on (live fibers are never migrated) and appends one
+          [{"ok":"healed",…}] frame after the batch's output.  [None]
+          leaves every byte of output identical to a daemon built
+          without the heal subsystem. *)
 }
 
 val default_retry_after_ms : int

@@ -119,18 +119,20 @@ let apply_op rng op doc =
           in
           Html_tree.insert_at doc [ List.length doc ] decoy)
 
-let perturb rng ~intensity doc =
+let perturb_trace rng ~intensity doc =
   if Pagegen.target_path doc = None then
     invalid_arg "Perturb.perturb: document has no data-target node";
-  let rec step doc k budget =
-    if k = 0 || budget = 0 then doc
+  let rec step doc applied k budget =
+    if k = 0 || budget = 0 then (doc, List.rev applied)
     else
       let op = List.nth all_ops (Random.State.int rng (List.length all_ops)) in
       match apply_op rng op doc with
-      | Some doc' -> step doc' (k - 1) (budget - 1)
-      | None -> step doc k (budget - 1)
+      | Some doc' -> step doc' (op :: applied) (k - 1) (budget - 1)
+      | None -> step doc applied k (budget - 1)
   in
-  step doc intensity (20 * intensity)
+  step doc [] intensity (20 * intensity)
+
+let perturb rng ~intensity doc = fst (perturb_trace rng ~intensity doc)
 
 let figure1_rearrangement doc =
   match target_head doc with

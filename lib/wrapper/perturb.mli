@@ -32,6 +32,12 @@ val perturb : Random.State.t -> intensity:int -> Html_tree.doc -> Html_tree.doc
 (** Apply [intensity] randomly chosen applicable operations in sequence.
     @raise Invalid_argument if the document has no [data-target] node. *)
 
+val perturb_trace :
+  Random.State.t -> intensity:int -> Html_tree.doc -> Html_tree.doc * op list
+(** {!perturb} plus the ops that were actually applied, in application
+    order (inapplicable draws are omitted) — the reproducible edit trace
+    the resilience harness records per trial. *)
+
 val figure1_rearrangement : Html_tree.doc -> Html_tree.doc
 (** The deterministic §3 redesign: embed everything in a table with a
     header-image row and a customer-service row — turns (a page shaped

@@ -59,9 +59,27 @@ let ground_truth abs alpha doc =
       | Some (word, i) -> Some (word, i, path)
       | None -> None)
 
-let evaluate ?(abs = Abstraction.Tags) ?(train_perturbation = 2) ~seed ~trials
-    ~intensities () =
+(* One structured row per trial, so a surprising aggregate percentage
+   replays from the artifact alone: the exact PRNG coordinates, the
+   §3-taxonomy ops that were actually applied to the test page, and
+   each extractor's verdict. *)
+let trial_row ~seed ~intensity ~trial ~status ~ops ~verdicts =
+  let open Obs.Json in
+  Obj
+    [
+      ("seed", Int seed);
+      ("intensity", Int intensity);
+      ("trial", Int trial);
+      ("status", Str status);
+      ("ops", List (List.map (fun op -> Str (Perturb.op_name op)) ops));
+      ( "verdicts",
+        Obj (List.map (fun (name, hit) -> (name, Bool hit)) verdicts) );
+    ]
+
+let evaluate ?(abs = Abstraction.Tags) ?(train_perturbation = 2) ?sink ~seed
+    ~trials ~intensities () =
   let alpha = Wrapper.alphabet_for ~abs [] in
+  let emit row = match sink with None -> () | Some f -> f row in
   List.map
     (fun intensity ->
       let counts = ref { zero with trials } in
@@ -75,15 +93,18 @@ let evaluate ?(abs = Abstraction.Tags) ?(train_perturbation = 2) ~seed ~trials
           | Some p -> (doc, p)
           | None -> invalid_arg "Resilience: generator lost the target"
         in
+        let learn_failure () =
+          counts := { !counts with learn_failures = !counts.learn_failures + 1 };
+          emit
+            (trial_row ~seed ~intensity ~trial ~status:"learn-failure" ~ops:[]
+               ~verdicts:[])
+        in
         match learn_all abs alpha [ sample_of base; sample_of variant ] with
-        | None ->
-            counts := { !counts with learn_failures = !counts.learn_failures + 1 }
+        | None -> learn_failure ()
         | Some xs -> (
-            let test = Perturb.perturb rng ~intensity base in
+            let test, ops = Perturb.perturb_trace rng ~intensity base in
             match ground_truth abs alpha test with
-            | None ->
-                counts :=
-                  { !counts with learn_failures = !counts.learn_failures + 1 }
+            | None -> learn_failure ()
             | Some (word, truth_pos, _) ->
                 let hit_rigid =
                   Extraction.matcher_extract xs.x_rigid word = `Unique truth_pos
@@ -94,13 +115,24 @@ let evaluate ?(abs = Abstraction.Tags) ?(train_perturbation = 2) ~seed ~trials
                   | Error _ -> false
                 in
                 let hit_lr = Lr_wrapper.extract xs.x_lr word = Some truth_pos in
+                let hit_merged = hit xs.x_merged in
+                let hit_maximized = hit xs.x_maximized in
+                emit
+                  (trial_row ~seed ~intensity ~trial ~status:"evaluated" ~ops
+                     ~verdicts:
+                       [
+                         ("rigid", hit_rigid);
+                         ("lr", hit_lr);
+                         ("merged", hit_merged);
+                         ("maximized", hit_maximized);
+                       ]);
                 counts :=
                   {
                     !counts with
                     rigid = (!counts.rigid + if hit_rigid then 1 else 0);
-                    merged = (!counts.merged + if hit xs.x_merged then 1 else 0);
+                    merged = (!counts.merged + if hit_merged then 1 else 0);
                     maximized =
-                      (!counts.maximized + if hit xs.x_maximized then 1 else 0);
+                      (!counts.maximized + if hit_maximized then 1 else 0);
                     lr = (!counts.lr + if hit_lr then 1 else 0);
                   })
       done;

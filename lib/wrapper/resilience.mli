@@ -32,11 +32,19 @@ type row = { intensity : int; counts : counts }
 val evaluate :
   ?abs:Abstraction.t ->
   ?train_perturbation:int ->
+  ?sink:(Obs.Json.t -> unit) ->
   seed:int ->
   trials:int ->
   intensities:int list ->
   unit ->
   row list
+(** [sink], when given, receives one structured JSON row per trial —
+    [{seed; intensity; trial; status; ops; verdicts}] where [status] is
+    ["evaluated"] or ["learn-failure"], [ops] is the §3 edit trace
+    actually applied to the test page ({!Perturb.perturb_trace}), and
+    [verdicts] maps each extractor to its hit/miss boolean — so any
+    aggregate count in the returned rows is reproducible from the
+    emitted artifact alone. *)
 
 val pp_table : Format.formatter -> row list -> unit
 (** Render as the EXPERIMENTS.md table. *)

@@ -159,9 +159,11 @@ let extract_raw c html =
 
 (* --- .rxc artifacts: ship the compiled form, start warm --- *)
 
-let compile_to t path =
+let compile_to ?generation t path =
   Artifact.save
-    (Artifact.of_extraction ~abstraction:(Abstraction.to_string t.abs) t.expr)
+    (Artifact.of_extraction
+       ~abstraction:(Abstraction.to_string t.abs)
+       ?generation t.expr)
     path
 
 let of_artifact a =
@@ -182,8 +184,8 @@ let of_artifact a =
           strategy = None;
         }
 
-let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t docs =
-  let c = compile t in
+let extract_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) c
+    docs =
   let step =
     match (fuel, deadline_ms) with
     | None, None -> extract_compiled c
@@ -208,8 +210,12 @@ let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t docs =
     (function Ok r -> r | Error msg -> Error (Worker_error msg))
     (Batch.map_isolated ?jobs ~cost:Html_tree.count_nodes ?chunk step docs)
 
-let extract_raw_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t pages =
-  let c = compile t in
+let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?retries t docs =
+  extract_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?retries (compile t)
+    docs
+
+let extract_raw_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) c
+    pages =
   (* force the token table on the submitting domain: workers must
      share one frozen table, not race to build their own *)
   ignore (Lazy.force c.c_front);
@@ -232,3 +238,57 @@ let extract_raw_batch ?jobs ?chunk ?fuel ?deadline_ms ?(retries = 0) t pages =
   List.map
     (function Ok r -> r | Error msg -> Error (Worker_error msg))
     (Batch.map_isolated ?jobs ~cost:String.length ?chunk step pages)
+
+let extract_raw_batch ?jobs ?chunk ?fuel ?deadline_ms ?retries t pages =
+  extract_raw_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?retries
+    (compile t) pages
+
+(* --- generation cell: atomic hot-swap for the self-healing loop ---
+
+   One immutable snapshot per generation: the wrapper, its compiled
+   form (with the front-end table forced, so readers on any domain
+   share the frozen structures), and the generation ordinal.  A swap
+   publishes a whole new snapshot in a single [Atomic.set]; readers
+   take one [Atomic.get] and never observe a torn (wrapper, generation)
+   pair.  Swapping is single-writer by design (the heal manager runs on
+   the supervising domain), so set — not CAS — is enough. *)
+
+module Gen = struct
+  type snapshot = { g_wrapper : t; g_compiled : compiled; g_generation : int }
+  type gen = snapshot Atomic.t
+
+  let snap w generation =
+    let c = compile w in
+    ignore (Lazy.force c.c_front);
+    { g_wrapper = w; g_compiled = c; g_generation = generation }
+
+  let make ?(generation = 0) w =
+    if generation < 0 then invalid_arg "Wrapper.Gen.make: negative generation";
+    Atomic.make (snap w generation)
+
+  let get g =
+    let s = Atomic.get g in
+    (s.g_wrapper, s.g_generation)
+
+  let wrapper g = (Atomic.get g).g_wrapper
+  let generation g = (Atomic.get g).g_generation
+
+  let swap g w =
+    let next = (Atomic.get g).g_generation + 1 in
+    Atomic.set g (snap w next);
+    next
+
+  (* One atomic snapshot for the whole batch: a concurrent swap never
+     changes which generation a batch runs under mid-flight, and the
+     snapshot's pre-forced compiled form is reused (no recompile per
+     batch). *)
+  let extract_batch ?jobs ?chunk ?fuel ?deadline_ms ?retries g docs =
+    let s = Atomic.get g in
+    extract_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?retries
+      s.g_compiled docs
+
+  let extract_raw_batch ?jobs ?chunk ?fuel ?deadline_ms ?retries g pages =
+    let s = Atomic.get g in
+    extract_raw_batch_compiled ?jobs ?chunk ?fuel ?deadline_ms ?retries
+      s.g_compiled pages
+end

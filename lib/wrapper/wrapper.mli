@@ -91,11 +91,14 @@ val extract_raw : compiled -> string -> (Html_tree.path, extract_error) result
     straight into the matcher and seeded into {!Lang_cache}, so the
     warm-path statistics count them as cache traffic. *)
 
-val compile_to : t -> string -> unit
+val compile_to : ?generation:int -> t -> string -> unit
 (** Package the wrapper's expression (plus its abstraction, in
     {!Abstraction.to_string} form) and save it at the given path.  The
     maximization [strategy] is not persisted — a reloaded wrapper
-    extracts identically but reports [strategy = None]. *)
+    extracts identically but reports [strategy = None].  [generation]
+    (default 0) stamps the artifact's healing generation
+    ({!Artifact.t.generation}); generation-0 output is byte-identical
+    to the pre-healing format. *)
 
 val of_artifact : Artifact.t -> (t, string) result
 (** Wrapper from a verified artifact.  Errors only when the stored
@@ -146,3 +149,57 @@ val extract_raw_batch :
     is linear in input bytes, Lemma 5.2's analogue).  The front-end
     token table is forced before the fan-out so all domains share one
     frozen table. *)
+
+(** {1 Generations}
+
+    The self-healing loop's publication point: a [gen] cell holds the
+    {e current} wrapper together with its generation ordinal and
+    pre-compiled form, and {!Gen.swap} replaces all three in one atomic
+    store.  Readers ({!Gen.extract_batch}, the serve supervisor's
+    admission pass) take a single snapshot, so a batch or session never
+    observes a torn (wrapper, generation) pair and a swap mid-batch
+    leaves that batch on the generation it started under.  Swapping is
+    single-writer (the heal manager, on the supervising domain). *)
+
+module Gen : sig
+  type gen
+
+  val make : ?generation:int -> t -> gen
+  (** A cell at the given generation (default 0 — a freshly learned,
+      never-healed wrapper).  Compiles the wrapper and forces its
+      front-end table, so the snapshot is shareable across domains.
+      @raise Invalid_argument on a negative [generation]. *)
+
+  val get : gen -> t * int
+  (** One atomic snapshot: the current wrapper and its generation. *)
+
+  val wrapper : gen -> t
+  val generation : gen -> int
+
+  val swap : gen -> t -> int
+  (** Publish a re-synthesized wrapper as the next generation and
+      answer the new ordinal.  In-flight batches keep the snapshot they
+      took; new snapshots see the new wrapper. *)
+
+  val extract_batch :
+    ?jobs:int ->
+    ?chunk:Pool.chunking ->
+    ?fuel:int ->
+    ?deadline_ms:int ->
+    ?retries:int ->
+    gen ->
+    Html_tree.doc list ->
+    (Html_tree.path, extract_error) result list
+  (** {!Wrapper.extract_batch} against one atomic snapshot of the cell,
+      reusing its pre-compiled matcher and front-end table. *)
+
+  val extract_raw_batch :
+    ?jobs:int ->
+    ?chunk:Pool.chunking ->
+    ?fuel:int ->
+    ?deadline_ms:int ->
+    ?retries:int ->
+    gen ->
+    string list ->
+    (Html_tree.path, extract_error) result list
+end

@@ -1,0 +1,128 @@
+Self-healing serve: rexdex serve --heal learns the wrapper from sample
+pages, watches per-session verdicts through a windowed drift detector,
+quarantines failing pages, and re-synthesizes a new generation the
+moment the failure rate trips — announcing it with a healed frame.
+
+The training pages (Figure 1's two layouts, data-target marked) and a
+drifted page: the same document wrapped in a SECTION, a tag outside
+the learned alphabet, so the generation-0 wrapper must die on it:
+
+  $ cat > sample1.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"><input type="text" data-target="1"><input type="radio"></form>
+  > EOF
+  $ cat > sample2.html <<'EOF'
+  > <table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input type="image"><input type="text" data-target="1"><input type="radio"></form></td></tr></table>
+  > EOF
+  $ printf '<section>%s</section>\n' "$(cat sample1.html)" > drift.html
+
+Three sessions each stream the drifted page (one batch per session via
+--batch-max 3).  With window 4, threshold 0.4, min-samples 2 the
+detector trips deterministically after the second failure: sessions 1
+and 2 die on the unknown symbol, the healed frame announces generation
+1 re-synthesized from both quarantined pages, and session 3 extracts
+from the drifted layout:
+
+  $ python3 - <<'PYEOF'
+  > import json
+  > page = open('drift.html').read().strip()
+  > with open('script.txt', 'w') as f:
+  >     for sid in (1, 2, 3):
+  >         f.write(json.dumps({"op": "open", "id": sid}) + '\n')
+  >         f.write(json.dumps({"op": "page", "id": sid, "html": page}) + '\n')
+  >         f.write(json.dumps({"op": "close", "id": sid}) + '\n')
+  > PYEOF
+  $ rexdex serve --heal --heal-sample sample1.html --heal-sample sample2.html \
+  >   --heal-window 4 --heal-threshold 0.4 --heal-min-samples 2 \
+  >   --heal-save gen.rxc --batch-max 3 --stats < script.txt 2> stats.err
+  {"ok":"opened","id":1}
+  {"err":"proto","id":1,"reason":"unknown symbol \"SECTION\""}
+  {"err":"proto","id":1,"reason":"session is gone"}
+  {"ok":"opened","id":2}
+  {"err":"proto","id":2,"reason":"unknown symbol \"SECTION\""}
+  {"err":"proto","id":2,"reason":"session is gone"}
+  {"ok":"healed","generation":1,"used":2}
+  {"ok":"opened","id":3}
+  {"split":7,"id":3}
+  {"ok":"closed","id":3,"splits":1,"tokens":11}
+  $ echo exit=$?
+  exit=0
+
+The --stats report gains a heal section with the loop's counters:
+
+  $ grep -c "heal stats:" stats.err
+  1
+  $ grep "trips" stats.err | tr -s ' ' | sed 's/^ //'
+  trips 1 healed 1
+  $ grep "generation" stats.err | tr -s ' ' | sed 's/^ //'
+  heal-failures 0 generation 1
+
+Each healed generation is re-saved as a generation-stamped compiled
+artifact, loadable anywhere a .rxc goes:
+
+  $ rexdex check --load gen.rxc | grep -c "maximal"
+  1
+
+A page whose recovered mark conflicts with the training concept (here
+a B element where the samples mark INPUTs) makes re-synthesis fail;
+the failed heal is contained — no healed frame, generation stays 0,
+the daemon keeps serving, and the failure is counted:
+
+  $ python3 - <<'PYEOF'
+  > import json
+  > page = '<p><b data-target="1">conflicting mark</b>'
+  > with open('bad.txt', 'w') as f:
+  >     for sid in (1, 2):
+  >         f.write(json.dumps({"op": "open", "id": sid}) + '\n')
+  >         f.write(json.dumps({"op": "page", "id": sid, "html": page}) + '\n')
+  >         f.write(json.dumps({"op": "close", "id": sid}) + '\n')
+  > PYEOF
+  $ rexdex serve --heal --heal-sample sample1.html --heal-sample sample2.html \
+  >   --heal-window 4 --heal-threshold 0.4 --heal-min-samples 2 \
+  >   --batch-max 3 --stats < bad.txt > bad.out 2> bad.err
+  $ grep -c healed bad.out
+  0
+  [1]
+  $ grep "heal-failures" bad.err | tr -s ' ' | sed 's/^ //'
+  heal-failures 1 generation 0
+
+A quarantine of capacity 1 evicts its oldest page when the second
+failure arrives — recency wins, and the eviction is counted:
+
+  $ rexdex serve --heal --heal-sample sample1.html --heal-sample sample2.html \
+  >   --heal-window 4 --heal-threshold 0.4 --heal-min-samples 2 \
+  >   --heal-quarantine 1 --batch-max 3 --stats < script.txt > /dev/null 2> q.err
+  $ grep "evicted" q.err | tr -s ' ' | sed 's/^ //'
+  quarantined 2 evicted 1
+  $ rexdex serve --heal --heal-sample sample1.html --heal-sample sample2.html \
+  >   --heal-window 4 --heal-threshold 0.4 --heal-min-samples 2 \
+  >   --heal-quarantine 1 --batch-max 3 < script.txt | grep healed
+  {"ok":"healed","generation":1,"used":1}
+
+Healing is opt-in and its flags police each other — no samples, a
+positional expression, or an orphaned --heal-sample are all refused
+before any input is read:
+
+  $ rexdex serve --heal </dev/null
+  error: --heal requires at least one --heal-sample page
+  [2]
+  $ rexdex serve --heal --heal-sample sample1.html -a p,q '([^p])* <p> .*' </dev/null
+  error: --heal learns the wrapper from --heal-sample pages; drop EXPR, -a, and --load
+  [2]
+  $ rexdex serve --heal-sample sample1.html -a p,q '([^p])* <p> .*' </dev/null
+  error: --heal-sample requires --heal
+  [2]
+  $ cat > unmarked.html <<'EOF'
+  > <p><h1>Shop</h1><form><input type="image"></form>
+  > EOF
+  $ rexdex serve --heal --heal-sample unmarked.html </dev/null
+  unmarked.html: no data-target element
+  [2]
+
+The learn and perturb commands refuse unmarked pages too:
+
+  $ rexdex learn unmarked.html
+  unmarked.html: no data-target element
+  [2]
+  $ rexdex perturb unmarked.html -n 1 --seed 1
+  error: Perturb.perturb: document has no data-target node
+  [2]

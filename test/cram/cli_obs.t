@@ -62,7 +62,7 @@ schema, and the extraction output is unchanged:
   > json.loads(json.dumps(m)) == m or exit(1)
   > EOF
   rexdex-obs/1 True
-  ['artifact', 'cache', 'counters', 'front', 'pool', 'schema', 'serve', 'spans', 'spans_dropped', 'traced']
+  ['artifact', 'cache', 'counters', 'front', 'heal', 'pool', 'schema', 'serve', 'spans', 'spans_dropped', 'traced']
   True True
 
 The oracle itself can run traced; its verdict stream on stdout is

@@ -11,14 +11,14 @@ A different seed drives different cases but the same verdict shape:
   $ rexdex selftest -n 60 -s 8 > r3.txt
   $ head -2 r1.txt
   rexdex selftest — differential oracle campaign
-  seed 7 · budget 60 cases · 77 oracle tests
+  seed 7 · budget 60 cases · 83 oracle tests
   $ tail -1 r1.txt
-  selftest OK: 77 cases, 0 violations
+  selftest OK: 83 cases, 0 violations
   $ tail -1 r3.txt
-  selftest OK: 77 cases, 0 violations
+  selftest OK: 83 cases, 0 violations
 
 The budget is split evenly across the oracle tests (at least one case
 each), so a tiny run still touches every oracle:
 
   $ rexdex selftest -n 1 -s 0 | tail -1
-  selftest OK: 77 cases, 0 violations
+  selftest OK: 83 cases, 0 violations

@@ -344,7 +344,7 @@ let test_metrics_json_schema () =
     (Obs.Json.get_int (Obs.Json.path [ "cache"; "decision"; "misses" ] j));
   match Obs.Json.member "spans" j with
   | Obs.Json.List rows ->
-      check_int "one row per span stage" 8 (List.length rows);
+      check_int "one row per span stage" 9 (List.length rows);
       check_bool "verdict spans were recorded" true
         (List.exists
            (fun r ->

@@ -18,6 +18,7 @@ let mk ?(jobs = 1) ?(max_sessions = 64) ?fuel () =
       fuel;
       deadline_ms = None;
       retry_after_ms = 7;
+      heal = None;
     }
 
 let line fields = Obs.Json.to_string (Obs.Json.Obj fields)
@@ -111,6 +112,7 @@ let mk_h ?(jobs = 1) () =
       fuel = None;
       deadline_ms = None;
       retry_after_ms = 7;
+      heal = None;
     }
 
 let page_line id html =

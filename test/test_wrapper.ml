@@ -69,6 +69,67 @@ let test_perturb_preserves_target () =
     ignore (Tag_seq.of_doc alpha doc')
   done
 
+(* The §3 perturbation invariant, checked per operation as a QCheck
+   property: the data-target node survives every op, and no FORM/INPUT
+   material is inserted or removed strictly before it in document
+   order (which would legitimately change which node the learned
+   concept denotes).  Document order over tree paths is lexicographic,
+   so "before the target" is a plain list compare. *)
+
+let form_input_before doc target =
+  Html_tree.find_all
+    (function
+      | Html_tree.Element { name = "FORM" | "INPUT"; _ } -> true
+      | _ -> false)
+    doc
+  |> List.filter (fun (p, _) -> compare p target < 0)
+  |> List.length
+
+let target_is_input doc path =
+  match Html_tree.node_at doc path with
+  | Some (Html_tree.Element { name = "INPUT"; _ }) -> true
+  | _ -> false
+
+let prop_each_op_preserves_invariant =
+  Helpers.qtest ~count:100 "perturb: every op preserves mark and concept"
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 11 |] in
+      let doc = Pagegen.generate rng (Pagegen.random_profile rng) in
+      let target = Option.get (Pagegen.target_path doc) in
+      let before = form_input_before doc target in
+      List.for_all
+        (fun op ->
+          match Perturb.apply_op rng op doc with
+          | None -> true (* inapplicable here: nothing to check *)
+          | Some doc' -> (
+              match Pagegen.target_path doc' with
+              | None -> false
+              | Some target' ->
+                  target_is_input doc' target'
+                  && form_input_before doc' target' = before))
+        Perturb.all_ops)
+
+let prop_chained_perturbation_preserves_invariant =
+  Helpers.qtest ~count:100 "perturb: chained trace preserves the invariant"
+    (QCheck.pair (QCheck.int_range 0 1_000_000) (QCheck.int_range 0 8))
+    (fun (seed, intensity) ->
+      let rng = Random.State.make [| seed; 12 |] in
+      let doc = Pagegen.generate rng (Pagegen.random_profile rng) in
+      let target = Option.get (Pagegen.target_path doc) in
+      let before = form_input_before doc target in
+      let doc', ops = Perturb.perturb_trace rng ~intensity doc in
+      List.length ops <= intensity
+      && List.for_all
+           (fun op -> List.mem op Perturb.all_ops)
+           ops
+      &&
+      match Pagegen.target_path doc' with
+      | None -> false
+      | Some target' ->
+          target_is_input doc' target'
+          && form_input_before doc' target' = before)
+
 let test_perturb_preserves_concept () =
   (* Ground truth stability: the target remains the
      (inputs_before_target + 1)-th INPUT of the FIRST form. *)
@@ -411,6 +472,8 @@ let () =
             test_each_op_applies_somewhere;
           Alcotest.test_case "figure 1 rearrangement" `Quick
             test_figure1_rearrangement;
+          prop_each_op_preserves_invariant;
+          prop_chained_perturbation_preserves_invariant;
         ] );
       ( "figure1-pipeline",
         [
